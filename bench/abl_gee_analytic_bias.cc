@@ -1,0 +1,50 @@
+// Ablation: GEE's bias, computed analytically (zero Monte Carlo noise).
+//
+// GEE is linear in the f_i, so its exact expectation under
+// without-replacement sampling is sqrt(n/r) E[f1] + (E[d] - E[f1]), with
+// E[d] and E[f1] exact hypergeometric sums over the true class counts
+// (profile/expected_profile.h). This bench prints E[GEE]/D across the
+// paper's workload family and rate sweep — the noise-free explanation of
+// Figure 1's GEE curve: the bias flips from over- to under-estimation as
+// the rate crosses the "expected one occurrence per class" point.
+
+#include <cmath>
+
+#include "bench_util.h"
+
+#include "datagen/zipf.h"
+#include "profile/expected_profile.h"
+
+int main() {
+  using namespace ndv;
+  std::printf("Ablation: analytic E[GEE]/D (signed bias ratio; >1 means "
+              "overestimate)\n(n = 1,000,000, exact hypergeometric "
+              "expectations, no sampling)\n");
+
+  const int64_t n = 1000000;
+  TextTable table({"workload", "D", "0.2%", "0.8%", "3.2%", "6.4%", "20%"});
+  for (double z : {0.0, 1.0, 2.0}) {
+    for (int64_t dup : {int64_t{1}, int64_t{100}}) {
+      // True class counts straight from the generator's spec.
+      auto base = ZipfClassFrequencies(n / dup, z);
+      for (auto& f : base) f *= dup;
+      const double cap = static_cast<double>(base.size());
+      std::vector<std::string> row = {
+          "Z=" + FormatDouble(z, 0) + " dup=" + std::to_string(dup),
+          FormatDouble(cap, 0)};
+      for (double fraction : {0.002, 0.008, 0.032, 0.064, 0.2}) {
+        const int64_t r = static_cast<int64_t>(fraction * n);
+        const double expected = GeeExpectedValueWor(base, r);
+        row.push_back(FormatDouble(expected / cap, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  PrintFigure(std::cout, "Analytic GEE bias across workloads", table);
+  std::printf("Duplicated low-skew data (Z=0, dup=100) shows the Figure 1 "
+              "signature: heavy\noverestimation at low rates (singletons "
+              "over-scaled), converging from above as\nthe rate grows. "
+              "All-distinct data (dup=1) sits at sqrt(r/n) -- pure "
+              "underestimate.\n");
+  return 0;
+}

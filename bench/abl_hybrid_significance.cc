@@ -1,0 +1,58 @@
+// Ablation: the hybrid estimators' chi-squared significance level.
+//
+// HYBSKEW/HYBGEE route each sample through a chi-squared uniformity test;
+// the significance level controls how eagerly samples are declared
+// high-skew. The paper's criticism — instability near the decision
+// boundary — shows up as error and variance sensitivity to this knob on
+// mid-skew data. This ablation sweeps the level on Z in {0, 1, 2} data.
+
+#include "bench_util.h"
+
+#include "core/hybgee.h"
+#include "estimators/hybrid.h"
+#include "table/column_sampling.h"
+
+int main() {
+  using namespace ndv;
+  std::printf("Ablation: chi-squared significance level of HYBGEE/HYBSKEW\n");
+  std::printf("(n = 1M, dup=100, rate 0.8%%, 10 trials)\n");
+
+  for (double z : {0.0, 1.0, 2.0}) {
+    const auto column = bench::PaperColumn(1000000, z, 100);
+    const int64_t actual = ExactDistinctHashSet(*column);
+    TextTable table({"significance", "HYBGEE err", "HYBGEE stddev/D",
+                     "HYBSKEW err", "HYBSKEW stddev/D", "GEE-branch rate"});
+    for (double significance : {0.5, 0.9, 0.975, 0.999}) {
+      const HybGee hybgee(significance);
+      const HybSkew hybskew(significance);
+      RunOptions options = bench::PaperRunOptions(/*seed=*/31);
+      const auto agg_gee =
+          RunTrials(*column, actual, 0.008, hybgee, options);
+      const auto agg_skew =
+          RunTrials(*column, actual, 0.008, hybskew, options);
+      // How often the skew test fires across independent samples.
+      Rng rng(55);
+      int high_skew = 0;
+      for (int t = 0; t < 10; ++t) {
+        const SampleSummary sample =
+            SampleColumnFraction(*column, 0.008, rng);
+        if (hybgee.WouldUseGeeBranch(sample)) ++high_skew;
+      }
+      table.AddRow({FormatDouble(significance, 3),
+                    FormatDouble(agg_gee.mean_ratio_error, 3),
+                    FormatDouble(agg_gee.stddev_fraction, 4),
+                    FormatDouble(agg_skew.mean_ratio_error, 3),
+                    FormatDouble(agg_skew.stddev_fraction, 4),
+                    FormatDouble(high_skew / 10.0, 1)});
+    }
+    PrintFigure(std::cout,
+                "Hybrid significance ablation, Z=" + FormatDouble(z, 0) +
+                    " (D=" + std::to_string(actual) + ")",
+                table);
+  }
+  std::printf("On clearly-low or clearly-high skew the level barely "
+              "matters (branch rate pinned at 0 or 1). Sensitivity would "
+              "appear between the regimes — the instability the paper's AE "
+              "removes by construction.\n");
+  return 0;
+}

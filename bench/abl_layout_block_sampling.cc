@@ -1,0 +1,110 @@
+// Ablation: physical row layout x block (page-level) sampling.
+//
+// The paper's experiments randomize the row layout and use row-level
+// sampling. Real systems often sample whole pages instead, which is only
+// sound when values are scattered. This ablation runs GEE/AE/HYBGEE on
+// block samples over three layouts — random, clustered runs, and fully
+// sorted — showing the (well-known) collapse of block sampling on
+// clustered data, and that row-level sampling is layout-immune.
+
+#include "bench_util.h"
+
+#include "common/descriptive.h"
+#include "sample/samplers.h"
+#include "table/column_sampling.h"
+
+namespace {
+
+using namespace ndv;
+
+constexpr int64_t kRowsPerBlock = 256;
+
+EstimatorAggregate RunBlockTrials(const Column& column, int64_t actual,
+                                  double fraction,
+                                  const Estimator& estimator, int64_t trials,
+                                  uint64_t seed) {
+  const int64_t n = column.size();
+  const int64_t total_blocks = (n + kRowsPerBlock - 1) / kRowsPerBlock;
+  const int64_t blocks = std::max<int64_t>(
+      1, static_cast<int64_t>(fraction * static_cast<double>(total_blocks)));
+  Rng rng(seed);
+  RunningStats errors;
+  RunningStats estimates;
+  for (int64_t t = 0; t < trials; ++t) {
+    Rng trial_rng = rng.Fork();
+    const auto rows = SampleBlocks(n, kRowsPerBlock, blocks, trial_rng);
+    const SampleSummary summary = SummarizeRows(column, rows);
+    const double estimate = estimator.Estimate(summary);
+    estimates.Add(estimate);
+    errors.Add(RatioError(estimate, static_cast<double>(actual)));
+  }
+  EstimatorAggregate aggregate;
+  aggregate.estimator = std::string(estimator.name());
+  aggregate.sampling_fraction = fraction;
+  aggregate.actual_distinct = actual;
+  aggregate.mean_estimate = estimates.mean();
+  aggregate.mean_ratio_error = errors.mean();
+  aggregate.stddev_fraction =
+      estimates.PopulationStdDev() / static_cast<double>(actual);
+  return aggregate;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: block (page-level) sampling vs row layout\n");
+  std::printf("(Zipf Z=1, dup=100, n=1M, 1%% sample, blocks of %lld rows)\n",
+              static_cast<long long>(kRowsPerBlock));
+
+  const std::vector<std::pair<std::string, RowLayout>> layouts = {
+      {"random", RowLayout::kRandom},
+      {"clustered", RowLayout::kClustered},
+      {"sorted", RowLayout::kSorted},
+  };
+  const char* names[] = {"GEE", "AE", "HYBGEE"};
+
+  TextTable table({"layout", "sampling", "GEE", "AE", "HYBGEE"});
+  for (const auto& [label, layout] : layouts) {
+    ZipfColumnOptions options;
+    options.rows = 1000000;
+    options.z = 1.0;
+    options.dup_factor = 100;
+    options.layout = layout;
+    options.cluster_run = 4096;
+    const auto column = MakeZipfColumn(options);
+    const int64_t actual = ExactDistinctHashSet(*column);
+
+    // Row-level sampling: layout must not matter.
+    {
+      std::vector<std::string> row = {label, "row"};
+      RunOptions run = bench::PaperRunOptions(/*seed=*/23);
+      for (const char* name : names) {
+        const auto estimator = MakeEstimatorByName(name);
+        row.push_back(FormatDouble(
+            RunTrials(*column, actual, 0.01, *estimator, run)
+                .mean_ratio_error,
+            2));
+      }
+      table.AddRow(std::move(row));
+    }
+    // Block sampling: collapses as clustering grows.
+    {
+      std::vector<std::string> row = {label, "block"};
+      for (const char* name : names) {
+        const auto estimator = MakeEstimatorByName(name);
+        row.push_back(FormatDouble(
+            RunBlockTrials(*column, actual, 0.01, *estimator, 10, 29)
+                .mean_ratio_error,
+            2));
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+  PrintFigure(std::cout, "Layout x block-sampling ablation", table);
+  std::printf("Row sampling is identical across layouts (row order is "
+              "irrelevant to a uniform row sample). Block sampling matches "
+              "it on random layout but collapses on clustered/sorted data: "
+              "a page of duplicates carries one class, so the profile looks "
+              "far more redundant than the column is.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: what NDV estimation errors COST — plan-quality regret.
+//
+// The paper motivates distinct-value estimation by optimizer plan quality.
+// This bench closes that loop: for a family of workloads, each estimator's
+// 1% -sample estimate drives the hash-vs-sort GROUP BY decision against a
+// memory budget; the modeled cost of the chosen plan is compared to the
+// oracle plan (true D known). Reported per estimator: how often the wrong
+// strategy was chosen, and the mean/max cost regret.
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+#include "common/descriptive.h"
+#include "exec/planner.h"
+#include "table/column_sampling.h"
+
+int main() {
+  using namespace ndv;
+  std::printf("Ablation: plan-choice regret caused by NDV errors\n");
+  std::printf("(hash-vs-sort GROUP BY, 10K-group memory budget, 1%% "
+              "samples, 10 trials per workload)\n");
+
+  const int64_t kBudget = 10000;
+  const auto estimators = MakePaperComparisonEstimators();
+  struct Tally {
+    int64_t decisions = 0;
+    int64_t wrong = 0;
+    RunningStats regret;
+    double max_regret = 1.0;
+  };
+  std::vector<Tally> tallies(estimators.size());
+
+  // Workloads straddling the budget: D from ~300 to ~160K.
+  struct Workload {
+    double z;
+    int64_t dup;
+  };
+  const std::vector<Workload> workloads = {
+      {1.0, 1000}, {1.0, 100}, {0.0, 100}, {1.0, 10}, {0.0, 20}, {1.0, 1},
+  };
+
+  for (const Workload& workload : workloads) {
+    const auto column = bench::PaperColumn(1000000, workload.z, workload.dup);
+    const int64_t actual = ExactDistinctHashSet(*column);
+    Rng rng(2026);
+    for (int trial = 0; trial < 10; ++trial) {
+      Rng trial_rng = rng.Fork();
+      const SampleSummary summary =
+          SampleColumnFraction(*column, 0.01, trial_rng);
+      for (size_t e = 0; e < estimators.size(); ++e) {
+        const PlanOutcome outcome =
+            EvaluatePlanChoice(*estimators[e], summary, actual, kBudget);
+        Tally& tally = tallies[e];
+        ++tally.decisions;
+        if (outcome.chosen != outcome.oracle) ++tally.wrong;
+        tally.regret.Add(outcome.regret);
+        tally.max_regret = std::max(tally.max_regret, outcome.regret);
+      }
+    }
+  }
+
+  TextTable table({"estimator", "wrong plans", "mean regret", "max regret"});
+  for (size_t e = 0; e < estimators.size(); ++e) {
+    const Tally& tally = tallies[e];
+    table.AddRow({std::string(estimators[e]->name()),
+                  std::to_string(tally.wrong) + "/" +
+                      std::to_string(tally.decisions),
+                  FormatDouble(tally.regret.mean(), 3),
+                  FormatDouble(tally.max_regret, 2)});
+  }
+  PrintFigure(std::cout, "Plan-quality regret per estimator", table);
+  std::printf("Regret 1 = the oracle plan. Estimators whose errors straddle "
+              "the memory budget pay\nthe spill penalty (underestimates) or "
+              "the sort tax (overestimates) — the paper's\nmotivation made "
+              "quantitative.\n");
+  return 0;
+}

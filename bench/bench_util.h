@@ -1,0 +1,60 @@
+#ifndef NDV_BENCH_BENCH_UTIL_H_
+#define NDV_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the paper-reproduction experiment binaries.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/all_estimators.h"
+#include "datagen/zipf.h"
+#include "harness/figures.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "table/table.h"
+
+namespace ndv::bench {
+
+// The paper's standard synthetic workload: n rows of Zipf(z) data with the
+// given duplication factor, shuffled layout.
+inline std::unique_ptr<Int64Column> PaperColumn(int64_t rows, double z,
+                                                int64_t dup,
+                                                uint64_t seed = 4242) {
+  ZipfColumnOptions options;
+  options.rows = rows;
+  options.z = z;
+  options.dup_factor = dup;
+  options.seed = seed;
+  return MakeZipfColumn(options);
+}
+
+// The paper's trial configuration: ten independent samples per point.
+inline RunOptions PaperRunOptions(uint64_t seed = 1) {
+  RunOptions options;
+  options.trials = 10;
+  options.seed = seed;
+  return options;
+}
+
+inline std::vector<std::string> RateLabels() {
+  std::vector<std::string> labels;
+  for (double fraction : PaperSamplingFractions()) {
+    labels.push_back(FractionLabel(fraction));
+  }
+  return labels;
+}
+
+inline double MeanError(const EstimatorAggregate& a) {
+  return a.mean_ratio_error;
+}
+
+inline double StdDevFraction(const EstimatorAggregate& a) {
+  return a.stddev_fraction;
+}
+
+}  // namespace ndv::bench
+
+#endif  // NDV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,73 @@
+// Figures 9 & 10: scale-up experiments.
+//
+// Bounded-domain (Fig. 9): a Zipf Z=2 base of 1000 rows fixes D; the table
+// grows from 100K to 1M rows by duplicating every value; the sample is
+// FIXED at 10,000 rows. Expected shape: every estimator's error is flat in
+// n except HYBVAR, whose modified-Shlosser branch cannot detect the
+// duplication and overestimates roughly linearly in n.
+//
+// Unbounded-domain (Fig. 10): Z=2 with duplication factor 100 and a fixed
+// 1.6% sampling RATE; D grows with n. Expected shape: flat for everything
+// except HYBVAR, which jumps when its gamma^2 selector switches branches.
+
+#include "bench_util.h"
+
+namespace {
+
+void RunBounded() {
+  using namespace ndv;
+  const auto estimators = MakePaperComparisonEstimators();
+  std::vector<EstimatorAggregate> results;
+  std::vector<std::string> labels;
+  for (int64_t n = 100000; n <= 1000000; n += 100000) {
+    // Base of 1000 Zipf rows; every value copied n/1000 times.
+    const auto column = bench::PaperColumn(n, 2.0, n / 1000);
+    const int64_t actual = ExactDistinctHashSet(*column);
+    labels.push_back(std::to_string(n / 1000) + "K rows");
+    const double fraction = 10000.0 / static_cast<double>(n);
+    for (const auto& aggregate :
+         RunSweep(*column, actual, {fraction}, estimators,
+                  bench::PaperRunOptions(/*seed=*/9))) {
+      results.push_back(aggregate);
+    }
+  }
+  const TextTable table = MakeFigureTable(results, labels, "n",
+                                          bench::MeanError);
+  PrintFigure(std::cout,
+              "Figure 9: bounded-domain scaleup (fixed D, fixed 10K-row "
+              "sample)",
+              table);
+}
+
+void RunUnbounded() {
+  using namespace ndv;
+  const auto estimators = MakePaperComparisonEstimators();
+  std::vector<EstimatorAggregate> results;
+  std::vector<std::string> labels;
+  for (int64_t n = 100000; n <= 1000000; n += 100000) {
+    const auto column = bench::PaperColumn(n, 2.0, 100);
+    const int64_t actual = ExactDistinctHashSet(*column);
+    labels.push_back(std::to_string(n / 1000) + "K rows (D=" +
+                     std::to_string(actual) + ")");
+    for (const auto& aggregate :
+         RunSweep(*column, actual, {0.016}, estimators,
+                  bench::PaperRunOptions(/*seed=*/10))) {
+      results.push_back(aggregate);
+    }
+  }
+  const TextTable table =
+      MakeFigureTable(results, labels, "n", bench::MeanError);
+  PrintFigure(std::cout,
+              "Figure 10: unbounded-domain scaleup (D grows with n, 1.6% "
+              "sample)",
+              table);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproducing Figures 9-10: scale-up experiments\n");
+  RunBounded();
+  RunUnbounded();
+  return 0;
+}

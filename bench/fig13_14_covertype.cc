@@ -1,0 +1,33 @@
+// Figures 13 & 14: average ratio error and stddev/D over the 11 CoverType
+// columns vs sampling rate. Simulated stand-in for the UCI CoverType data
+// (581,012 rows; DESIGN.md §4).
+//
+// Expected shape (paper): GEE/AE/HYBGEE more accurate than HYBSKEW;
+// HYBGEE better than both GEE and HYBSKEW; small, decreasing variance.
+
+#include "bench_util.h"
+
+#include "datagen/real_world_like.h"
+
+int main() {
+  using namespace ndv;
+  std::printf("Reproducing Figures 13-14: CoverType (simulated), 581,012 "
+              "rows, 11 columns\n");
+  const Table cover = MakeCoverTypeLike();
+  const auto estimators = MakePaperComparisonEstimators();
+  const auto results = RunTableSweep(cover, PaperSamplingFractions(),
+                                     estimators, bench::PaperRunOptions(13));
+
+  const TextTable errors = MakeTableFigure(
+      results, bench::RateLabels(), "rate",
+      [](const TableAggregate& a) { return a.mean_ratio_error; });
+  PrintFigure(std::cout, "Figure 13: CoverType avg ratio error vs rate",
+              errors);
+
+  const TextTable stddevs = MakeTableFigure(
+      results, bench::RateLabels(), "rate",
+      [](const TableAggregate& a) { return a.mean_stddev_fraction; }, 4);
+  PrintFigure(std::cout, "Figure 14: CoverType avg stddev/D vs rate",
+              stddevs);
+  return 0;
+}

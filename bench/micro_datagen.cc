@@ -1,0 +1,66 @@
+// Microbenchmarks: synthetic data generation — the cost of materializing
+// the paper's workloads (relevant when regenerating every figure).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/real_world_like.h"
+#include "datagen/synthetic_table.h"
+#include "datagen/zipf.h"
+#include "table/table.h"
+
+namespace {
+
+void BM_ZipfClassFrequencies(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ndv::ZipfClassFrequencies(state.range(0), 2.0));
+  }
+}
+BENCHMARK(BM_ZipfClassFrequencies)->Arg(10000)->Arg(1000000);
+
+void BM_MakeZipfColumn(benchmark::State& state) {
+  ndv::ZipfColumnOptions options;
+  options.rows = state.range(0);
+  options.z = 1.0;
+  options.dup_factor = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::MakeZipfColumn(options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MakeZipfColumn)->Arg(100000)->Arg(1000000);
+
+void BM_ZipfianGeneratorDraws(benchmark::State& state) {
+  const ndv::ZipfianGenerator zipf(state.range(0), 1.2);
+  ndv::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfianGeneratorDraws)->Arg(1000)->Arg(100000);
+
+void BM_MakeCensusLike(benchmark::State& state) {
+  for (auto _ : state) {
+    const ndv::Table table = ndv::MakeCensusLikeScaled(state.range(0));
+    benchmark::DoNotOptimize(table.NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 15);
+}
+BENCHMARK(BM_MakeCensusLike)->Arg(10000);
+
+void BM_ExactDistinct(benchmark::State& state) {
+  ndv::ZipfColumnOptions options;
+  options.rows = state.range(0);
+  options.z = 1.0;
+  options.dup_factor = 10;
+  const auto column = ndv::MakeZipfColumn(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::ExactDistinctHashSet(*column));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExactDistinct)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Microbenchmarks: estimator evaluation cost as a function of the sample's
+// frequency-profile size. Estimators run on precomputed summaries, so this
+// measures pure formula/solver cost (the part a DBMS pays per ANALYZE).
+
+#include <benchmark/benchmark.h>
+
+#include "core/adaptive_estimator.h"
+#include "core/all_estimators.h"
+#include "core/gee.h"
+#include "datagen/zipf.h"
+#include "table/column_sampling.h"
+
+namespace {
+
+// A realistic summary: 1% sample of Zipf(1) data, profile width grows with
+// `rows`.
+ndv::SampleSummary MakeBenchSummary(int64_t rows) {
+  ndv::ZipfColumnOptions options;
+  options.rows = rows;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  options.seed = 77;
+  const auto column = ndv::MakeZipfColumn(options);
+  ndv::Rng rng(5);
+  return ndv::SampleColumnFraction(*column, 0.01, rng);
+}
+
+void BM_Gee(benchmark::State& state) {
+  const ndv::SampleSummary summary = MakeBenchSummary(state.range(0));
+  const ndv::Gee estimator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(summary));
+  }
+}
+BENCHMARK(BM_Gee)->Arg(100000)->Arg(1000000);
+
+void BM_AdaptiveEstimator(benchmark::State& state) {
+  const ndv::SampleSummary summary = MakeBenchSummary(state.range(0));
+  const ndv::AdaptiveEstimator estimator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(summary));
+  }
+}
+BENCHMARK(BM_AdaptiveEstimator)->Arg(100000)->Arg(1000000);
+
+void BM_HybGee(benchmark::State& state) {
+  const ndv::SampleSummary summary = MakeBenchSummary(state.range(0));
+  const auto estimator = ndv::MakeEstimatorByName("HYBGEE");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator->Estimate(summary));
+  }
+}
+BENCHMARK(BM_HybGee)->Arg(100000)->Arg(1000000);
+
+void BM_HybSkew(benchmark::State& state) {
+  const ndv::SampleSummary summary = MakeBenchSummary(state.range(0));
+  const auto estimator = ndv::MakeEstimatorByName("HYBSKEW");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator->Estimate(summary));
+  }
+}
+BENCHMARK(BM_HybSkew)->Arg(100000)->Arg(1000000);
+
+void BM_Shlosser(benchmark::State& state) {
+  const ndv::SampleSummary summary = MakeBenchSummary(state.range(0));
+  const auto estimator = ndv::MakeEstimatorByName("Shlosser");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator->Estimate(summary));
+  }
+}
+BENCHMARK(BM_Shlosser)->Arg(100000)->Arg(1000000);
+
+void BM_StabilizedJackknife(benchmark::State& state) {
+  const ndv::SampleSummary summary = MakeBenchSummary(state.range(0));
+  const auto estimator = ndv::MakeEstimatorByName("DUJ2A");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator->Estimate(summary));
+  }
+}
+BENCHMARK(BM_StabilizedJackknife)->Arg(100000)->Arg(1000000);
+
+void BM_AllEstimatorsOneSummary(benchmark::State& state) {
+  const ndv::SampleSummary summary = MakeBenchSummary(1000000);
+  const auto estimators = ndv::MakeAllEstimators();
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const auto& estimator : estimators) {
+      total += estimator->Estimate(summary);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AllEstimatorsOneSummary);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Microbenchmarks: the GROUP BY executors — empirical grounding for the
+// planner's cost model (hash ~ linear, sort ~ n log n, crossover driven by
+// group count).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/zipf.h"
+#include "exec/aggregate.h"
+
+namespace {
+
+std::unique_ptr<ndv::Int64Column> MakeColumn(int64_t rows, int64_t dup) {
+  ndv::ZipfColumnOptions options;
+  options.rows = rows;
+  options.z = 0.0;
+  options.dup_factor = dup;
+  options.seed = 11;
+  return ndv::MakeZipfColumn(options);
+}
+
+void BM_HashAggregateFewGroups(benchmark::State& state) {
+  const auto column = MakeColumn(state.range(0), 1000);  // n/1000 groups
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::HashAggregateCount(*column));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashAggregateFewGroups)->Arg(100000)->Arg(1000000);
+
+void BM_HashAggregateManyGroups(benchmark::State& state) {
+  const auto column = MakeColumn(state.range(0), 2);  // n/2 groups
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::HashAggregateCount(*column));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashAggregateManyGroups)->Arg(100000)->Arg(1000000);
+
+void BM_SortAggregateFewGroups(benchmark::State& state) {
+  const auto column = MakeColumn(state.range(0), 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::SortAggregateCount(*column));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortAggregateFewGroups)->Arg(100000)->Arg(1000000);
+
+void BM_SortAggregateManyGroups(benchmark::State& state) {
+  const auto column = MakeColumn(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::SortAggregateCount(*column));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortAggregateManyGroups)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

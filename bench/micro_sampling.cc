@@ -1,0 +1,98 @@
+// Microbenchmarks: row-sampling schemes and sample summarization — the
+// I/O-side cost of sampling-based estimation.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/zipf.h"
+#include "sample/samplers.h"
+#include "table/column_sampling.h"
+
+namespace {
+
+constexpr int64_t kTableRows = 1000000;
+constexpr int64_t kSampleRows = 10000;
+
+void BM_SampleWithReplacement(benchmark::State& state) {
+  ndv::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ndv::SampleWithReplacement(kTableRows, state.range(0), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleWithReplacement)->Arg(kSampleRows)->Arg(8 * kSampleRows);
+
+void BM_SampleFloyd(benchmark::State& state) {
+  ndv::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ndv::SampleWithoutReplacementFloyd(kTableRows, state.range(0), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleFloyd)->Arg(kSampleRows)->Arg(8 * kSampleRows);
+
+void BM_SampleFisherYates(benchmark::State& state) {
+  ndv::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::SampleWithoutReplacementFisherYates(
+        kTableRows, state.range(0), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleFisherYates)->Arg(kSampleRows)->Arg(8 * kSampleRows);
+
+void BM_SampleBernoulli(benchmark::State& state) {
+  ndv::Rng rng(4);
+  const double q =
+      static_cast<double>(state.range(0)) / static_cast<double>(kTableRows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::SampleBernoulli(kTableRows, q, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleBernoulli)->Arg(kSampleRows)->Arg(8 * kSampleRows);
+
+void BM_ReservoirL(benchmark::State& state) {
+  for (auto _ : state) {
+    ndv::ReservoirSamplerL sampler(state.range(0), ndv::Rng(5));
+    for (int64_t i = 0; i < kTableRows; ++i) {
+      sampler.Add(static_cast<uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(sampler.sample());
+  }
+  state.SetItemsProcessed(state.iterations() * kTableRows);
+}
+BENCHMARK(BM_ReservoirL)->Arg(kSampleRows);
+
+void BM_ReservoirR(benchmark::State& state) {
+  for (auto _ : state) {
+    ndv::ReservoirSamplerR sampler(state.range(0), ndv::Rng(6));
+    for (int64_t i = 0; i < kTableRows; ++i) {
+      sampler.Add(static_cast<uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(sampler.sample());
+  }
+  state.SetItemsProcessed(state.iterations() * kTableRows);
+}
+BENCHMARK(BM_ReservoirR)->Arg(kSampleRows);
+
+void BM_SummarizeSample(benchmark::State& state) {
+  ndv::ZipfColumnOptions options;
+  options.rows = kTableRows;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  const auto column = ndv::MakeZipfColumn(options);
+  ndv::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ndv::SampleColumn(
+        *column, state.range(0), ndv::SamplingScheme::kWithoutReplacement,
+        rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SummarizeSample)->Arg(kSampleRows)->Arg(8 * kSampleRows);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Theorem 1 in action: the two-scenario adversarial construction that makes
+// EVERY sampling-based estimator err. Scenario A is a single repeated value
+// (D = 1); Scenario B hides k random singletons behind the same heavy value
+// (D = k + 1). A small sample usually cannot tell them apart.
+//
+//   ./build/examples/adversarial_lower_bound
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/all_estimators.h"
+#include "core/lower_bound.h"
+#include "harness/report.h"
+
+int main() {
+  const int64_t n = 1000000;
+  const int64_t r = 10000;  // a 1% look at the table
+  const double gamma = 0.5;
+
+  const double bound = ndv::TheoremOneErrorBound(n, r, gamma);
+  const int64_t k = ndv::TheoremOneK(n, r, gamma);
+  std::printf("Theorem 1: with n=%lld rows and r=%lld probes, ANY estimator\n"
+              "errs by a factor >= %.2f with probability >= %.1f on some "
+              "input.\n",
+              static_cast<long long>(n), static_cast<long long>(r), bound,
+              gamma);
+  std::printf("Adversarial k (planted singletons) = %lld\n",
+              static_cast<long long>(k));
+  std::printf("P[sample sees only the heavy value | Scenario B] = %.3f\n\n",
+              ndv::ScenarioBAllHeavyProbability(n, k, r));
+
+  std::printf("Playing 25 rounds of the A/B game against each estimator:\n");
+  ndv::TextTable table({"estimator", "mean err (A)", "mean err (B)",
+                        "P[err >= bound]"});
+  for (const auto& estimator : ndv::MakePaperComparisonEstimators()) {
+    const ndv::AdversarialGameResult result =
+        ndv::PlayAdversarialGame(*estimator, n, r, gamma, 25, 2026);
+    table.AddRow({std::string(estimator->name()),
+                  ndv::FormatDouble(result.mean_error_a, 2),
+                  ndv::FormatDouble(result.mean_error_b, 2),
+                  ndv::FormatDouble(result.fraction_at_least_bound, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nNo estimator escapes: scenario B's singletons are invisible to most\n"
+      "samples, so anything accurate on A (err ~1) must err ~sqrt(k) on B.\n"
+      "GEE splits the difference by design -- that is Theorem 2.\n");
+
+  // The paper's Section 3 calibration: at a 20%% sampling fraction the
+  // bound evaluates to 1.18, close to the best errors observed in practice.
+  std::printf("\nPaper calibration: n=1M, r=20%% of n, gamma=0.5 -> bound %.2f\n",
+              ndv::TheoremOneErrorBound(1000000, 200000, 0.5));
+  return 0;
+}

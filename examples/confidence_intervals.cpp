@@ -1,0 +1,64 @@
+// GEE's [LOWER, UPPER] confidence interval across skews and sampling
+// rates — the paper's Tables 1 and 2 as an interactive-style walkthrough.
+// The interval always contains the true D and collapses rapidly as the
+// sampling fraction grows (much faster on skewed data).
+//
+//   ./build/examples/confidence_intervals
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/gee.h"
+#include "datagen/zipf.h"
+#include "harness/figures.h"
+#include "harness/report.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+namespace {
+
+void ShowIntervals(double z) {
+  ndv::ZipfColumnOptions options;
+  options.rows = 1000000;
+  options.z = z;
+  options.dup_factor = 100;
+  options.seed = 42;
+  const auto column = ndv::MakeZipfColumn(options);
+  const int64_t actual = ndv::ExactDistinctHashSet(*column);
+  std::printf("\nZipf Z=%.0f, dup=100, n=1M, actual D = %lld\n", z,
+              static_cast<long long>(actual));
+
+  ndv::TextTable table({"sampling rate", "LOWER", "GEE", "UPPER",
+                        "contains D?", "width/D"});
+  ndv::Rng rng(static_cast<uint64_t>(z) + 1);
+  for (double fraction : {0.002, 0.004, 0.008, 0.016, 0.032, 0.064}) {
+    const ndv::SampleSummary sample =
+        ndv::SampleColumnFraction(*column, fraction, rng);
+    const ndv::GeeBounds bounds = ndv::ComputeGeeBounds(sample);
+    const bool contains = bounds.lower <= static_cast<double>(actual) &&
+                          static_cast<double>(actual) <= bounds.upper;
+    table.AddRow({ndv::FractionLabel(fraction),
+                  ndv::FormatDouble(bounds.lower, 0),
+                  ndv::FormatDouble(bounds.estimate, 0),
+                  ndv::FormatDouble(bounds.upper, 0),
+                  contains ? "yes" : "NO",
+                  ndv::FormatDouble(bounds.width() /
+                                        static_cast<double>(actual), 2)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GEE confidence intervals: D is bracketed by [LOWER, UPPER],\n"
+              "and the bracket narrows as the sample grows.");
+  ShowIntervals(0.0);  // low skew: interval collapses slowly (Table 1)
+  ShowIntervals(2.0);  // high skew: interval collapses quickly (Table 2)
+  std::printf(
+      "\nLow-skew data keeps many singletons in the sample, so UPPER stays\n"
+      "loose; on skewed data the sample quickly covers all classes and the\n"
+      "interval pins D.\n");
+  return 0;
+}

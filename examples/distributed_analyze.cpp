@@ -1,0 +1,86 @@
+// Distributed ANALYZE: a table sharded over several partitions, each
+// worker maintaining a single-pass reservoir over its shard; the
+// coordinator merges the reservoirs into one uniform table-level sample
+// and estimates distinct values from it. Demonstrates that the merged
+// estimate matches what a monolithic sample would give.
+//
+//   ./build/examples/distributed_analyze
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/adaptive_estimator.h"
+#include "core/gee.h"
+#include "datagen/zipf.h"
+#include "profile/frequency_profile.h"
+#include "sample/partition_merge.h"
+#include "sample/samplers.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+int main() {
+  constexpr int kPartitions = 8;
+  constexpr int64_t kRowsPerPartition = 125000;
+  constexpr int64_t kSampleRows = 10000;
+
+  // One logical column of 1M rows, sharded row-wise across 8 workers.
+  ndv::ZipfColumnOptions options;
+  options.rows = kPartitions * kRowsPerPartition;
+  options.z = 1.0;
+  options.dup_factor = 100;
+  const auto column = ndv::MakeZipfColumn(options);
+  const int64_t actual = ndv::ExactDistinctHashSet(*column);
+
+  // Each worker scans only its shard, feeding a reservoir of capacity
+  // kSampleRows (>= the coordinator's target, so any merge allocation can
+  // be served).
+  std::vector<ndv::PartitionSample> partitions;
+  for (int p = 0; p < kPartitions; ++p) {
+    ndv::ReservoirSamplerL reservoir(kSampleRows,
+                                     ndv::Rng(static_cast<uint64_t>(p) + 1));
+    const int64_t begin = p * kRowsPerPartition;
+    for (int64_t row = begin; row < begin + kRowsPerPartition; ++row) {
+      reservoir.Add(column->HashAt(row));
+    }
+    ndv::PartitionSample partition;
+    partition.population = kRowsPerPartition;
+    partition.items = reservoir.sample();
+    partitions.push_back(std::move(partition));
+    std::printf("worker %d: scanned %lld rows, kept %lld in reservoir\n", p,
+                static_cast<long long>(kRowsPerPartition),
+                static_cast<long long>(kSampleRows));
+  }
+
+  // Coordinator: merge into one uniform sample of the whole table.
+  ndv::Rng rng(99);
+  const std::vector<uint64_t> merged =
+      ndv::MergePartitionSamples(std::move(partitions), kSampleRows, rng);
+
+  ndv::SampleSummary summary;
+  summary.table_rows = column->size();
+  summary.sample_rows = static_cast<int64_t>(merged.size());
+  summary.freq = ndv::FrequencyProfile::FromValues(merged);
+  summary.Validate();
+
+  const ndv::GeeBounds bounds = ndv::ComputeGeeBounds(summary);
+  const double ae = ndv::AdaptiveEstimator().Estimate(summary);
+
+  // Reference: a monolithic sample of the same size.
+  ndv::Rng mono_rng(7);
+  const ndv::SampleSummary monolithic = ndv::SampleColumn(
+      *column, kSampleRows, ndv::SamplingScheme::kWithoutReplacement,
+      mono_rng);
+  const double mono_ae = ndv::AdaptiveEstimator().Estimate(monolithic);
+
+  std::printf("\nactual D                       = %lld\n",
+              static_cast<long long>(actual));
+  std::printf("merged-sample AE estimate      = %.0f\n", ae);
+  std::printf("merged-sample GEE interval     = [%.0f, %.0f]\n",
+              bounds.lower, bounds.upper);
+  std::printf("monolithic-sample AE estimate  = %.0f\n", mono_ae);
+  std::printf("\nThe merge is exactly uniform over the union, so the "
+              "distributed pipeline\nloses nothing versus sampling the "
+              "whole table in one place.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Progressive sampling with an error certificate: instead of fixing a
+// sample size up front, keep doubling the sample until GEE's
+// [LOWER, UPPER] interval *certifies* the requested accuracy. On skewed
+// columns certification arrives after a few thousand rows; on
+// hard (uniform, high-cardinality) columns the session honestly escalates.
+//
+//   ./build/examples/progressive_sampling
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/sample_planner.h"
+#include "datagen/zipf.h"
+#include "harness/report.h"
+#include "table/table.h"
+
+namespace {
+
+void RunSession(const char* label, double z, int64_t dup) {
+  ndv::ZipfColumnOptions options;
+  options.rows = 1000000;
+  options.z = z;
+  options.dup_factor = dup;
+  const auto column = ndv::MakeZipfColumn(options);
+  const int64_t actual = ndv::ExactDistinctHashSet(*column);
+
+  ndv::ProgressiveOptions progressive;
+  progressive.target_error = 2.0;  // certify a 2x ratio-error budget
+  const ndv::ProgressiveResult result =
+      ndv::ProgressiveEstimate(*column, progressive);
+
+  std::printf(
+      "%-28s D=%-7lld rows read=%-7lld (%.2f%%)  rounds=%lld  "
+      "interval=[%.0f, %.0f]  certificate=%.2f  %s\n",
+      label, static_cast<long long>(actual),
+      static_cast<long long>(result.sample_rows),
+      100.0 * static_cast<double>(result.sample_rows) /
+          static_cast<double>(column->size()),
+      static_cast<long long>(result.rounds), result.bounds.lower,
+      result.bounds.upper, result.certificate,
+      result.certified ? "CERTIFIED" : "uncertified");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Progressive sampling: stop as soon as GEE's interval "
+              "certifies error <= 2x.\n");
+  std::printf("A-priori (Theorem 2) budget for the same guarantee: "
+              "r >= e^2 n / 4 = %lld of 1M rows -- a full scan.\n"
+              "The data-dependent certificate below usually needs far "
+              "less:\n\n",
+              static_cast<long long>(
+                  ndv::RequiredSampleSizeForGuarantee(1000000, 2.0)));
+  RunSession("high skew (Z=2, dup=100)", 2.0, 100);
+  RunSession("mid skew (Z=1, dup=100)", 1.0, 100);
+  RunSession("low skew (Z=0, dup=100)", 0.0, 100);
+  RunSession("adversarial (Z=0, dup=1)", 0.0, 1);
+  std::printf(
+      "\nSkewed columns certify after ~3%% of the table; the all-distinct "
+      "worst case needs\na quarter of it even for this loose 2x budget -- "
+      "the Theorem 1 cost made visible.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Full-scan probabilistic counting vs sampling-based estimation — the
+// trade-off from the paper's related-work discussion. Sketches (linear
+// counting, Flajolet-Martin, HyperLogLog, KMV) read every row but use tiny
+// memory and get ~exact answers; sample-based estimators read a few percent
+// of the rows and pay in accuracy (Theorem 1 says they must).
+//
+//   ./build/examples/sketch_vs_sample
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/descriptive.h"
+#include "core/all_estimators.h"
+#include "datagen/zipf.h"
+#include "harness/report.h"
+#include "sketch/exact_counter.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+int main() {
+  ndv::ZipfColumnOptions options;
+  options.rows = 1000000;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  options.seed = 99;
+  const auto column = ndv::MakeZipfColumn(options);
+  const double actual =
+      static_cast<double>(ndv::ExactDistinctHashSet(*column));
+  std::printf("Column: %lld rows, D = %.0f (Zipf Z=1, dup=10)\n\n",
+              static_cast<long long>(column->size()), actual);
+
+  std::printf("Full-scan sketches (read 100%% of rows):\n");
+  ndv::TextTable sketch_table(
+      {"counter", "estimate", "ratio error", "memory (bytes)", "rows read"});
+  for (auto& counter : ndv::MakeAllDistinctCounters()) {
+    for (int64_t row = 0; row < column->size(); ++row) {
+      counter->Add(column->HashAt(row));
+    }
+    const double estimate = counter->Estimate();
+    sketch_table.AddRow({std::string(counter->name()),
+                         ndv::FormatDouble(estimate, 0),
+                         ndv::FormatDouble(ndv::RatioError(estimate, actual), 3),
+                         std::to_string(counter->MemoryBytes()),
+                         std::to_string(column->size())});
+  }
+  sketch_table.Print(std::cout);
+
+  std::printf("\nSample-based estimators (read 1%% of rows):\n");
+  ndv::TextTable sample_table({"estimator", "estimate", "ratio error",
+                               "rows read"});
+  ndv::Rng rng(5);
+  const ndv::SampleSummary sample =
+      ndv::SampleColumnFraction(*column, 0.01, rng);
+  for (const auto& estimator : ndv::MakePaperComparisonEstimators()) {
+    const double estimate = estimator->Estimate(sample);
+    sample_table.AddRow({std::string(estimator->name()),
+                         ndv::FormatDouble(estimate, 0),
+                         ndv::FormatDouble(ndv::RatioError(estimate, actual), 3),
+                         std::to_string(sample.r())});
+  }
+  sample_table.Print(std::cout);
+
+  std::printf(
+      "\nSketches are near-exact but must touch every row (infeasible for\n"
+      "ad-hoc stats on huge warehouses); samples read 100x less and are\n"
+      "within the Theorem 1 error envelope. Pick per workload.\n");
+  return 0;
+}

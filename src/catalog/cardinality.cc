@@ -1,0 +1,47 @@
+#include "catalog/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace ndv {
+
+double EstimateEqualityCardinality(const ColumnStats& stats) {
+  NDV_CHECK(stats.estimate > 0.0);
+  return static_cast<double>(stats.table_rows) / stats.estimate;
+}
+
+double EstimateJoinCardinality(const ColumnStats& left,
+                               const ColumnStats& right) {
+  NDV_CHECK(left.estimate > 0.0);
+  NDV_CHECK(right.estimate > 0.0);
+  const double rows = static_cast<double>(left.table_rows) *
+                      static_cast<double>(right.table_rows);
+  return rows / std::max(left.estimate, right.estimate);
+}
+
+double EstimateGroupByCardinality(std::span<const ColumnStats> columns) {
+  NDV_CHECK(!columns.empty());
+  double groups = 1.0;
+  double rows = 0.0;
+  for (const ColumnStats& stats : columns) {
+    NDV_CHECK(stats.estimate > 0.0);
+    groups *= stats.estimate;
+    rows = std::max(rows, static_cast<double>(stats.table_rows));
+    if (groups > rows && rows > 0.0) groups = rows;  // Early cap.
+  }
+  return std::min(groups, rows);
+}
+
+double EstimateDistinctAfterFilter(const ColumnStats& stats,
+                                   double selectivity) {
+  NDV_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  NDV_CHECK(stats.estimate > 0.0);
+  const double rows_per_class =
+      static_cast<double>(stats.table_rows) / stats.estimate;
+  return stats.estimate * (1.0 - PowOneMinus(selectivity, rows_per_class));
+}
+
+}  // namespace ndv

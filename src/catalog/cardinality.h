@@ -1,0 +1,36 @@
+#ifndef NDV_CATALOG_CARDINALITY_H_
+#define NDV_CATALOG_CARDINALITY_H_
+
+#include <span>
+
+#include "catalog/stats_catalog.h"
+
+namespace ndv {
+
+// Textbook cardinality formulas driven by distinct-value statistics — the
+// consumers that make NDV accuracy matter (the paper's motivation: "the
+// accuracy of distinct values estimation greatly impacts the query
+// optimizer's ability to generate good plans").
+
+// Equality predicate `col = const`: table_rows / D_hat rows.
+double EstimateEqualityCardinality(const ColumnStats& stats);
+
+// Equi-join R.a = S.b under containment-of-values:
+//   |R| * |S| / max(D_a, D_b).
+// Requires both estimates > 0.
+double EstimateJoinCardinality(const ColumnStats& left,
+                               const ColumnStats& right);
+
+// GROUP BY over several columns, assuming attribute independence and
+// capping at the row count:  min(prod_i D_i, table_rows).
+double EstimateGroupByCardinality(std::span<const ColumnStats> columns);
+
+// Distinct values surviving an equality/range filter with selectivity s:
+// the standard "balls and bins" reduction  D * (1 - (1 - s)^{n/D}).
+// Requires 0 <= selectivity <= 1 and a positive estimate.
+double EstimateDistinctAfterFilter(const ColumnStats& stats,
+                                   double selectivity);
+
+}  // namespace ndv
+
+#endif  // NDV_CATALOG_CARDINALITY_H_

@@ -1,0 +1,136 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/gee.h"
+#include "profile/frequency_profile.h"
+#include "sample/samplers.h"
+
+namespace ndv {
+namespace {
+
+// GEE estimate for one bucket: the bucket's sampled values form a uniform
+// sample of the bucket's table rows (estimated as bucket_share * n).
+double BucketDistinctEstimate(std::span<const int64_t> values,
+                              double estimated_rows) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(values.size());
+  for (int64_t v : values) hashes.push_back(Hash64(static_cast<uint64_t>(v)));
+  SampleSummary summary;
+  summary.freq = FrequencyProfile::FromValues(hashes);
+  summary.sample_rows = summary.freq.TotalCount();
+  summary.table_rows = std::max<int64_t>(
+      summary.sample_rows, static_cast<int64_t>(std::llround(estimated_rows)));
+  return ComputeGeeBounds(summary).estimate;
+}
+
+}  // namespace
+
+EquiDepthHistogram EquiDepthHistogram::Build(
+    std::span<const int64_t> sampled_values, int64_t table_rows,
+    int64_t num_buckets) {
+  NDV_CHECK(!sampled_values.empty());
+  NDV_CHECK(num_buckets >= 1);
+  NDV_CHECK(table_rows >= static_cast<int64_t>(sampled_values.size()));
+
+  std::vector<int64_t> sorted(sampled_values.begin(), sampled_values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t r = static_cast<int64_t>(sorted.size());
+  const double rows_per_sample_row =
+      static_cast<double>(table_rows) / static_cast<double>(r);
+
+  EquiDepthHistogram histogram;
+  histogram.table_rows_ = table_rows;
+  histogram.sample_rows_ = r;
+
+  const int64_t depth = std::max<int64_t>(1, r / num_buckets);
+  int64_t begin = 0;
+  while (begin < r) {
+    int64_t end = std::min(begin + depth, r);
+    // Never split one value across buckets: extend to the last copy.
+    while (end < r && sorted[static_cast<size_t>(end)] ==
+                          sorted[static_cast<size_t>(end - 1)]) {
+      ++end;
+    }
+    HistogramBucket bucket;
+    bucket.lower = sorted[static_cast<size_t>(begin)];
+    bucket.upper = sorted[static_cast<size_t>(end - 1)];
+    bucket.sample_rows = end - begin;
+    bucket.estimated_rows =
+        static_cast<double>(bucket.sample_rows) * rows_per_sample_row;
+    bucket.estimated_distinct = BucketDistinctEstimate(
+        std::span<const int64_t>(sorted.data() + begin,
+                                 static_cast<size_t>(end - begin)),
+        bucket.estimated_rows);
+    histogram.buckets_.push_back(bucket);
+    begin = end;
+  }
+  return histogram;
+}
+
+double EquiDepthHistogram::EstimateRangeRows(int64_t lo, int64_t hi) const {
+  if (lo > hi) return 0.0;
+  double rows = 0.0;
+  for (const HistogramBucket& bucket : buckets_) {
+    if (bucket.upper < lo || bucket.lower > hi) continue;
+    const double width =
+        static_cast<double>(bucket.upper - bucket.lower) + 1.0;
+    const double overlap_lo = std::max(lo, bucket.lower);
+    const double overlap_hi = std::min(hi, bucket.upper);
+    const double overlap = overlap_hi - overlap_lo + 1.0;
+    rows += bucket.estimated_rows * (overlap / width);
+  }
+  return rows;
+}
+
+double EquiDepthHistogram::EstimateEqualityRows(int64_t value) const {
+  for (const HistogramBucket& bucket : buckets_) {
+    if (value < bucket.lower || value > bucket.upper) continue;
+    if (bucket.estimated_distinct <= 0.0) return 0.0;
+    return bucket.estimated_rows / bucket.estimated_distinct;
+  }
+  return 0.0;
+}
+
+double EquiDepthHistogram::EstimatedDistinct() const {
+  double total = 0.0;
+  for (const HistogramBucket& bucket : buckets_) {
+    total += bucket.estimated_distinct;
+  }
+  return total;
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out;
+  for (const HistogramBucket& bucket : buckets_) {
+    out += "[" + std::to_string(bucket.lower) + ", " +
+           std::to_string(bucket.upper) + "] rows~" +
+           std::to_string(static_cast<int64_t>(bucket.estimated_rows)) +
+           " distinct~" +
+           std::to_string(static_cast<int64_t>(bucket.estimated_distinct)) +
+           "\n";
+  }
+  return out;
+}
+
+std::vector<int64_t> SampleInt64Values(const Int64Column& column,
+                                       double fraction, Rng& rng) {
+  NDV_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const int64_t n = column.size();
+  NDV_CHECK(n >= 1);
+  int64_t r = static_cast<int64_t>(
+      std::llround(fraction * static_cast<double>(n)));
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  const auto rows = SampleWithoutReplacementFloyd(n, r, rng);
+  std::vector<int64_t> values;
+  values.reserve(rows.size());
+  for (int64_t row : rows) {
+    values.push_back(column.values()[static_cast<size_t>(row)]);
+  }
+  return values;
+}
+
+}  // namespace ndv

@@ -1,0 +1,66 @@
+#ifndef NDV_CATALOG_HISTOGRAM_H_
+#define NDV_CATALOG_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "table/column.h"
+
+namespace ndv {
+
+// Equi-depth histograms over sampled values — the other statistical
+// summary the paper's introduction names next to distinct counts. Each
+// bucket holds roughly the same number of sampled rows; per-bucket
+// distinct-value estimates (GEE on the bucket's sub-sample) make the
+// histogram useful for both range and equality selectivity.
+
+struct HistogramBucket {
+  int64_t lower = 0;            // inclusive
+  int64_t upper = 0;            // inclusive
+  double estimated_rows = 0.0;  // table rows estimated to fall in bucket
+  double estimated_distinct = 0.0;  // distinct values estimated in bucket
+  int64_t sample_rows = 0;      // sampled rows that landed here
+};
+
+class EquiDepthHistogram {
+ public:
+  // Builds from `sampled_values` (a uniform row sample of the column) with
+  // `table_rows` total rows behind it. Requires non-empty sample,
+  // num_buckets >= 1. Adjacent buckets never split a single value.
+  static EquiDepthHistogram Build(std::span<const int64_t> sampled_values,
+                                  int64_t table_rows, int64_t num_buckets);
+
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+  int64_t table_rows() const { return table_rows_; }
+  int64_t sample_rows() const { return sample_rows_; }
+
+  // Estimated number of table rows with value in [lo, hi] (inclusive),
+  // assuming uniform spread within buckets. 0 when the range misses the
+  // histogram's domain entirely.
+  double EstimateRangeRows(int64_t lo, int64_t hi) const;
+
+  // Estimated rows equal to `value`: bucket rows / bucket distinct.
+  double EstimateEqualityRows(int64_t value) const;
+
+  // Total distinct estimate: sum of per-bucket estimates.
+  double EstimatedDistinct() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<HistogramBucket> buckets_;
+  int64_t table_rows_ = 0;
+  int64_t sample_rows_ = 0;
+};
+
+// Convenience: samples `fraction` of an Int64Column without replacement
+// and returns the sampled raw values.
+std::vector<int64_t> SampleInt64Values(const Int64Column& column,
+                                       double fraction, Rng& rng);
+
+}  // namespace ndv
+
+#endif  // NDV_CATALOG_HISTOGRAM_H_

@@ -1,0 +1,53 @@
+#include "catalog/incremental_stats.h"
+
+#include "common/check.h"
+#include "core/gee.h"
+
+namespace ndv {
+
+IncrementalColumnTracker::IncrementalColumnTracker(int64_t reservoir_capacity,
+                                                   uint64_t seed)
+    : reservoir_(reservoir_capacity, Rng(seed)) {}
+
+void IncrementalColumnTracker::Insert(uint64_t value_hash) {
+  reservoir_.Add(value_hash);
+}
+
+SampleSummary IncrementalColumnTracker::Summary() const {
+  NDV_CHECK_MSG(rows() >= 1, "no rows inserted yet");
+  SampleSummary summary;
+  summary.table_rows = rows();
+  summary.sample_rows = static_cast<int64_t>(reservoir_.sample().size());
+  summary.freq = FrequencyProfile::FromValues(reservoir_.sample());
+  summary.Validate();
+  return summary;
+}
+
+ColumnStats IncrementalColumnTracker::Snapshot(std::string column_name,
+                                               const Estimator& estimator) {
+  const SampleSummary summary = Summary();
+  const GeeBounds bounds = ComputeGeeBounds(summary);
+  ColumnStats stats;
+  stats.column_name = std::move(column_name);
+  stats.table_rows = summary.n();
+  stats.sample_rows = summary.r();
+  stats.sample_distinct = summary.d();
+  stats.estimate = estimator.Estimate(summary);
+  stats.lower = bounds.lower;
+  stats.upper = bounds.upper;
+  stats.method = std::string(estimator.name());
+  rows_at_snapshot_ = rows();
+  return stats;
+}
+
+bool IncrementalColumnTracker::IsStale(double changed_fraction) const {
+  NDV_CHECK(changed_fraction > 0.0);
+  if (rows_at_snapshot_ < 0) return true;
+  if (rows_at_snapshot_ == 0) return rows() > 0;
+  const double changed =
+      static_cast<double>(rows() - rows_at_snapshot_) /
+      static_cast<double>(rows_at_snapshot_);
+  return changed > changed_fraction;
+}
+
+}  // namespace ndv

@@ -1,0 +1,52 @@
+#ifndef NDV_CATALOG_INCREMENTAL_STATS_H_
+#define NDV_CATALOG_INCREMENTAL_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/stats_catalog.h"
+#include "estimators/estimator.h"
+#include "profile/frequency_profile.h"
+#include "sample/samplers.h"
+
+namespace ndv {
+
+// Incremental statistics maintenance: instead of re-scanning on every
+// ANALYZE, a tracker rides the insert path, keeping a single-pass
+// reservoir (Algorithm L) over the column's values. At any moment it can
+// materialize a uniform without-replacement sample summary and fresh
+// ColumnStats; a staleness rule says when consumers should re-pull. This
+// is the "keep optimizer statistics current" workflow the paper's
+// estimators slot into.
+class IncrementalColumnTracker {
+ public:
+  // `reservoir_capacity` bounds memory and the eventual sample size.
+  IncrementalColumnTracker(int64_t reservoir_capacity, uint64_t seed = 1);
+
+  // Observes one inserted row's value hash.
+  void Insert(uint64_t value_hash);
+
+  int64_t rows() const { return reservoir_.items_seen(); }
+
+  // The current uniform sample as estimator-ready sufficient statistics.
+  // Requires at least one inserted row.
+  SampleSummary Summary() const;
+
+  // Stats snapshot for `column_name` using `estimator`; calls MarkFresh().
+  ColumnStats Snapshot(std::string column_name, const Estimator& estimator);
+
+  // True when the rows inserted since the last Snapshot exceed
+  // `changed_fraction` of the rows at that snapshot (PostgreSQL-style
+  // autovacuum trigger). A tracker that never snapshot is always stale.
+  bool IsStale(double changed_fraction = 0.2) const;
+
+  int64_t rows_at_last_snapshot() const { return rows_at_snapshot_; }
+
+ private:
+  ReservoirSamplerL reservoir_;
+  int64_t rows_at_snapshot_ = -1;  // -1 = never snapshot
+};
+
+}  // namespace ndv
+
+#endif  // NDV_CATALOG_INCREMENTAL_STATS_H_

@@ -1,0 +1,190 @@
+#include "catalog/stats_catalog.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "core/all_estimators.h"
+#include "core/gee.h"
+#include "table/column_sampling.h"
+
+namespace ndv {
+namespace {
+
+std::string EscapeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '%' || c == '|' || c == '\n') {
+      char buffer[4];
+      std::snprintf(buffer, sizeof(buffer), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+int HexDigit(char c) {
+  if ('0' <= c && c <= '9') return c - '0';
+  if ('A' <= c && c <= 'F') return c - 'A' + 10;
+  if ('a' <= c && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::optional<std::string> UnescapeName(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out += escaped[i];
+      continue;
+    }
+    if (i + 2 >= escaped.size()) return std::nullopt;  // Truncated escape.
+    const int hi = HexDigit(escaped[i + 1]);
+    const int lo = HexDigit(escaped[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '|') {
+      fields.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+template <typename T>
+bool ParseNumber(std::string_view text, T* out) {
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+}  // namespace
+
+void StatsCatalog::Put(ColumnStats stats) {
+  for (ColumnStats& existing : entries_) {
+    if (existing.column_name == stats.column_name) {
+      existing = std::move(stats);
+      return;
+    }
+  }
+  entries_.push_back(std::move(stats));
+}
+
+const ColumnStats* StatsCatalog::Find(std::string_view column_name) const {
+  for (const ColumnStats& stats : entries_) {
+    if (stats.column_name == column_name) return &stats;
+  }
+  return nullptr;
+}
+
+std::string StatsCatalog::Serialize() const {
+  std::string out = "ndv-stats-v1\n";
+  for (const ColumnStats& stats : entries_) {
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "|%lld|%lld|%lld|%.17g|%.17g|%.17g|",
+                  static_cast<long long>(stats.table_rows),
+                  static_cast<long long>(stats.sample_rows),
+                  static_cast<long long>(stats.sample_distinct),
+                  stats.estimate, stats.lower, stats.upper);
+    out += EscapeName(stats.column_name);
+    out += buffer;
+    out += EscapeName(stats.method);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<StatsCatalog> StatsCatalog::Deserialize(std::string_view text) {
+  StatsCatalog catalog;
+  size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != "ndv-stats-v1") return std::nullopt;
+      saw_header = true;
+      continue;
+    }
+    const auto fields = SplitFields(line);
+    if (fields.size() != 8) return std::nullopt;
+    ColumnStats stats;
+    const auto name = UnescapeName(fields[0]);
+    const auto method = UnescapeName(fields[7]);
+    if (!name.has_value() || !method.has_value()) return std::nullopt;
+    stats.column_name = *name;
+    stats.method = *method;
+    if (!ParseNumber(fields[1], &stats.table_rows) ||
+        !ParseNumber(fields[2], &stats.sample_rows) ||
+        !ParseNumber(fields[3], &stats.sample_distinct) ||
+        !ParseNumber(fields[4], &stats.estimate) ||
+        !ParseNumber(fields[5], &stats.lower) ||
+        !ParseNumber(fields[6], &stats.upper)) {
+      return std::nullopt;
+    }
+    catalog.Put(std::move(stats));
+  }
+  if (!saw_header) return std::nullopt;
+  return catalog;
+}
+
+StatsCatalog AnalyzeTable(const Table& table, const AnalyzeOptions& options) {
+  const auto estimator = MakeEstimatorByName(options.estimator);
+  NDV_CHECK_MSG(estimator != nullptr, "unknown estimator '%s'",
+                options.estimator.c_str());
+  // Pre-derive one RNG per column so the per-column work is independent
+  // (and therefore parallelizable) while results stay identical to the
+  // sequential order.
+  Rng root(options.seed);
+  std::vector<Rng> column_rngs;
+  column_rngs.reserve(static_cast<size_t>(table.NumColumns()));
+  for (int64_t c = 0; c < table.NumColumns(); ++c) {
+    column_rngs.push_back(root.Fork());
+  }
+
+  std::vector<ColumnStats> per_column(
+      static_cast<size_t>(table.NumColumns()));
+  ParallelFor(table.NumColumns(), options.threads, [&](int64_t c) {
+    const SampleSummary sample = SampleColumnFraction(
+        table.column(c), options.sample_fraction,
+        column_rngs[static_cast<size_t>(c)]);
+    const GeeBounds bounds = ComputeGeeBounds(sample);
+    ColumnStats stats;
+    stats.column_name = table.column_name(c);
+    stats.table_rows = sample.n();
+    stats.sample_rows = sample.r();
+    stats.sample_distinct = sample.d();
+    stats.estimate = estimator->Estimate(sample);
+    stats.lower = bounds.lower;
+    stats.upper = bounds.upper;
+    stats.method = options.estimator;
+    per_column[static_cast<size_t>(c)] = std::move(stats);
+  });
+
+  StatsCatalog catalog;
+  for (ColumnStats& stats : per_column) {
+    catalog.Put(std::move(stats));
+  }
+  return catalog;
+}
+
+}  // namespace ndv

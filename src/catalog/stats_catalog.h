@@ -1,0 +1,81 @@
+#ifndef NDV_CATALOG_STATS_CATALOG_H_
+#define NDV_CATALOG_STATS_CATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "estimators/estimator.h"
+#include "table/table.h"
+
+namespace ndv {
+
+// An ANALYZE-style statistics catalog: the query-optimizer-facing facade of
+// the library. AnalyzeTable samples each column once, runs a configured
+// estimator, and records the per-column distinct-value statistics a planner
+// would consume (estimate + the GEE confidence interval + sample metadata).
+// The catalog serializes to a line-oriented text format so statistics can
+// persist across sessions.
+
+struct ColumnStats {
+  std::string column_name;
+  int64_t table_rows = 0;
+  int64_t sample_rows = 0;
+  int64_t sample_distinct = 0;  // d (also the LOWER bound)
+  double estimate = 0.0;        // the configured estimator's D_hat
+  double lower = 0.0;           // GEE interval LOWER (= d)
+  double upper = 0.0;           // GEE interval UPPER
+  std::string method;           // estimator name used for `estimate`
+
+  // Fraction of rows that are distinct per the estimate; planners use this
+  // for selectivity of equality predicates (1 / D_hat).
+  double EstimatedSelectivity() const {
+    return estimate <= 0.0 ? 1.0 : 1.0 / estimate;
+  }
+};
+
+struct AnalyzeOptions {
+  double sample_fraction = 0.01;
+  uint64_t seed = 1;
+  // Estimator used for the point estimate ("AE" by default; the GEE bounds
+  // are always recorded alongside).
+  std::string estimator = "AE";
+  // Worker threads (columns are analyzed independently). Results are
+  // identical regardless of thread count.
+  int threads = 1;
+};
+
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+
+  void Put(ColumnStats stats);
+
+  // Stats for a column, or nullptr when absent.
+  const ColumnStats* Find(std::string_view column_name) const;
+
+  const std::vector<ColumnStats>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  // Line-oriented text serialization:
+  //   ndv-stats-v1
+  //   <name>|<table_rows>|<sample_rows>|<d>|<estimate>|<lower>|<upper>|<method>
+  // Column names are percent-escaped ('%', '|', newline).
+  std::string Serialize() const;
+
+  // Parses Serialize() output. Returns std::nullopt on malformed input.
+  static std::optional<StatsCatalog> Deserialize(std::string_view text);
+
+ private:
+  std::vector<ColumnStats> entries_;
+};
+
+// Samples every column of `table` and builds its catalog. Aborts if
+// options.estimator names an unknown estimator.
+StatsCatalog AnalyzeTable(const Table& table, const AnalyzeOptions& options);
+
+}  // namespace ndv
+
+#endif  // NDV_CATALOG_STATS_CATALOG_H_

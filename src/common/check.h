@@ -1,0 +1,45 @@
+#ifndef NDV_COMMON_CHECK_H_
+#define NDV_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Contract-checking macros.
+//
+// The library does not use exceptions (per the project style). Programming
+// errors — violated preconditions, broken invariants — terminate the process
+// with a diagnostic. Recoverable conditions are modeled with return values
+// (std::optional or explicit result structs) instead.
+
+// Aborts with a diagnostic when `condition` is false. Always enabled.
+#define NDV_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "NDV_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+// Like NDV_CHECK but prints an extra printf-style message.
+#define NDV_CHECK_MSG(condition, ...)                                     \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "NDV_CHECK failed at %s:%d: %s: ", __FILE__,   \
+                   __LINE__, #condition);                                 \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define NDV_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define NDV_DCHECK(condition) NDV_CHECK(condition)
+#endif
+
+#endif  // NDV_COMMON_CHECK_H_

@@ -1,0 +1,35 @@
+#ifndef NDV_COMMON_DISTRIBUTIONS_H_
+#define NDV_COMMON_DISTRIBUTIONS_H_
+
+namespace ndv {
+
+// Statistical distribution functions needed by the estimators:
+//   * the chi-squared CDF/quantile drive HYBSKEW's skew test,
+//   * the normal quantile supports confidence reporting.
+// All are self-contained (no external dependencies) and accurate to roughly
+// 1e-10 relative error in the regimes the library uses.
+
+// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+// CDF of the chi-squared distribution with k > 0 degrees of freedom.
+double ChiSquaredCdf(double x, double k);
+
+// Quantile (inverse CDF) of the chi-squared distribution: the x such that
+// ChiSquaredCdf(x, k) == p. Requires 0 < p < 1, k > 0. Uses the
+// Wilson-Hilferty starting point refined by bisection/Newton on the CDF.
+double ChiSquaredQuantile(double p, double k);
+
+// Standard normal CDF.
+double NormalCdf(double x);
+
+// Standard normal quantile via Acklam's rational approximation refined with
+// one Halley step; accurate to ~1e-15. Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+}  // namespace ndv
+
+#endif  // NDV_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,77 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+namespace ndv {
+
+double LogFactorial(int64_t n) {
+  NDV_CHECK(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int64_t n, int64_t k) {
+  NDV_CHECK(0 <= k && k <= n);
+  if (k == 0 || k == n) return 0.0;
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double PowOneMinus(double p, double r) {
+  NDV_CHECK(p >= 0.0 && p <= 1.0);
+  NDV_CHECK(r >= 0.0);
+  if (r == 0.0) return 1.0;
+  if (p == 0.0) return 1.0;
+  if (p == 1.0) return 0.0;
+  return std::exp(r * std::log1p(-p));
+}
+
+double LogPowOneMinus(double p, double r) {
+  NDV_CHECK(p >= 0.0 && p <= 1.0);
+  NDV_CHECK(r >= 0.0);
+  if (p == 1.0 && r > 0.0) return -INFINITY;
+  return r * std::log1p(-p);
+}
+
+double HypergeometricMissProbability(int64_t n, int64_t t, int64_t r) {
+  NDV_CHECK(0 <= r && r <= n);
+  NDV_CHECK(0 <= t && t <= n);
+  if (t == 0) return 1.0;   // Nothing to miss.
+  if (r == 0) return 1.0;   // Empty sample misses everything.
+  if (t > n - r) return 0.0;  // Pigeonhole: the sample must hit the value.
+  // C(n - t, r) / C(n, r)
+  const double log_p = LogBinomial(n - t, r) - LogBinomial(n, r);
+  return std::exp(log_p);
+}
+
+double HypergeometricPmf(int64_t n, int64_t t, int64_t r, int64_t k) {
+  NDV_CHECK(0 <= r && r <= n);
+  NDV_CHECK(0 <= t && t <= n);
+  NDV_CHECK(k >= 0);
+  if (k > t || k > r) return 0.0;
+  if (r - k > n - t) return 0.0;  // Not enough other rows to fill the sample.
+  const double log_p = LogBinomial(t, k) + LogBinomial(n - t, r - k) -
+                       LogBinomial(n, r);
+  return std::exp(log_p);
+}
+
+double HypergeometricMissProbabilityReal(double n, double t, double r) {
+  NDV_CHECK(0.0 <= r && r <= n);
+  NDV_CHECK(t >= 0.0);
+  if (t == 0.0 || r == 0.0) return 1.0;
+  if (t > n - r) return 0.0;
+  const double log_p = LogGamma(n - t + 1.0) + LogGamma(n - r + 1.0) -
+                       LogGamma(n - t - r + 1.0) - LogGamma(n + 1.0);
+  return std::exp(log_p);
+}
+
+double HypergeometricSingletonProbability(int64_t n, int64_t t, int64_t r) {
+  NDV_CHECK(1 <= r && r <= n);
+  NDV_CHECK(0 <= t && t <= n);
+  if (t == 0) return 0.0;
+  if (t - 1 > n - r) return 0.0;  // Cannot leave t-1 copies unsampled.
+  // t * C(n - t, r - 1) / C(n, r)
+  const double log_p = std::log(static_cast<double>(t)) +
+                       LogBinomial(n - t, r - 1) - LogBinomial(n, r);
+  return std::exp(log_p);
+}
+
+}  // namespace ndv

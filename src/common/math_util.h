@@ -1,0 +1,69 @@
+#ifndef NDV_COMMON_MATH_UTIL_H_
+#define NDV_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace ndv {
+
+// Numerically stable helpers used throughout the estimator code. Estimator
+// formulas repeatedly evaluate terms like (1 - p)^r with p tiny and r huge;
+// naive evaluation in double loses all precision, so everything funnels
+// through log-space forms here.
+
+// ln Gamma(x) for x > 0.
+inline double LogGamma(double x) { return std::lgamma(x); }
+
+// ln(n!) for n >= 0.
+double LogFactorial(int64_t n);
+
+// ln C(n, k); requires 0 <= k <= n.
+double LogBinomial(int64_t n, int64_t k);
+
+// (1 - p)^r computed stably for p in [0, 1], r >= 0 (r may be fractional).
+// Returns 0 when p == 1 and r > 0.
+double PowOneMinus(double p, double r);
+
+// ln((1 - p)^r) = r * log1p(-p); requires p in [0, 1). Returns -inf for
+// p == 1 with r > 0.
+double LogPowOneMinus(double p, double r);
+
+// Clamps v into [lo, hi]. Requires lo <= hi.
+inline double Clamp(double v, double lo, double hi) {
+  NDV_DCHECK(lo <= hi);
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+// True when |a - b| <= tol * max(1, |a|, |b|).
+inline bool ApproxEqual(double a, double b, double tol = 1e-9) {
+  const double scale = std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= tol * scale;
+}
+
+// Exact probability that a fixed value with t occurrences in a table of n
+// rows is entirely *missed* by a without-replacement sample of r rows:
+// C(n - t, r) / C(n, r). Computed in log space. Requires 0<=r<=n, 0<=t<=n.
+double HypergeometricMissProbability(int64_t n, int64_t t, int64_t r);
+
+// Probability that the value appears *exactly once* in a without-replacement
+// sample of r rows: t * C(n - t, r - 1) / C(n, r). Requires r >= 1.
+double HypergeometricSingletonProbability(int64_t n, int64_t t, int64_t r);
+
+// Full hypergeometric pmf: probability that a class with t of the n rows
+// contributes exactly k rows to a without-replacement sample of r rows:
+// C(t, k) C(n-t, r-k) / C(n, r). Requires 0 <= r <= n, 0 <= t <= n, k >= 0.
+double HypergeometricPmf(int64_t n, int64_t t, int64_t r, int64_t k);
+
+// Continuous-t generalization of the miss probability, for model fitting
+// with fractional class sizes: Gamma(n-t+1) Gamma(n-r+1) /
+// (Gamma(n-t-r+1) Gamma(n+1)). Requires 0 <= r <= n, 0 <= t; returns 0 when
+// t > n - r.
+double HypergeometricMissProbabilityReal(double n, double t, double r);
+
+}  // namespace ndv
+
+#endif  // NDV_COMMON_MATH_UTIL_H_

@@ -1,0 +1,129 @@
+#ifndef NDV_COMMON_RANDOM_H_
+#define NDV_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ndv {
+
+// Finalizer of the SplitMix64 generator; also a high-quality 64-bit mixing
+// function usable as an integer hash.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Mixes a 64-bit value into a well-distributed hash. Unlike SplitMix64 this
+// does not add the golden-ratio increment, so Hash64(0) != Hash64 of the
+// first SplitMix64 state; use for value hashing, not for stream generation.
+inline uint64_t Hash64(uint64_t x) {
+  x ^= 0xa24baed4963ee407ULL;  // Break the finalizer's fixed point at 0.
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// xoshiro256** pseudo-random generator (Blackman & Vigna). Deterministic,
+// fast, and of far higher quality than std::minstd. Seeded through SplitMix64
+// so that nearby seeds yield unrelated streams.
+//
+// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+// with <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Reseed(seed); }
+
+  // Re-initializes the stream from `seed`.
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  // Next raw 64 random bits.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return NextU64(); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  // multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    NDV_DCHECK(bound > 0);
+    // 128-bit multiply-high; rejection keeps the result exactly uniform.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    NDV_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an unrelated child generator, e.g. one per trial.
+  Rng Fork() { return Rng(NextU64() ^ 0xda3e39cb94b95bdbULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ndv
+
+#endif  // NDV_COMMON_RANDOM_H_

@@ -1,0 +1,140 @@
+#include "common/solver.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ndv {
+namespace {
+
+bool Bracketed(double f_lo, double f_hi) {
+  return (f_lo <= 0.0 && f_hi >= 0.0) || (f_lo >= 0.0 && f_hi <= 0.0);
+}
+
+}  // namespace
+
+std::optional<RootResult> Bisect(const std::function<double(double)>& f,
+                                 double lo, double hi,
+                                 const RootOptions& options) {
+  NDV_CHECK(lo <= hi);
+  double f_lo = f(lo);
+  double f_hi = f(hi);
+  if (!Bracketed(f_lo, f_hi)) return std::nullopt;
+  if (std::fabs(f_lo) <= options.f_tolerance) {
+    return RootResult{lo, f_lo, 0, true};
+  }
+  if (std::fabs(f_hi) <= options.f_tolerance) {
+    return RootResult{hi, f_hi, 0, true};
+  }
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double f_mid = f(mid);
+    result.iterations = i + 1;
+    result.x = mid;
+    result.f_at_x = f_mid;
+    if (std::fabs(f_mid) <= options.f_tolerance ||
+        (hi - lo) * 0.5 <= options.x_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    if ((f_lo < 0.0) == (f_mid < 0.0)) {
+      lo = mid;
+      f_lo = f_mid;
+    } else {
+      hi = mid;
+      f_hi = f_mid;
+    }
+  }
+  result.converged = false;
+  return result;
+}
+
+std::optional<RootResult> Brent(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& options) {
+  NDV_CHECK(lo <= hi);
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (!Bracketed(fa, fb)) return std::nullopt;
+  if (std::fabs(fa) < std::fabs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool mflag = true;
+  double d = 0.0;
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    result.iterations = i + 1;
+    if (std::fabs(fb) <= options.f_tolerance ||
+        std::fabs(b - a) <= options.x_tolerance) {
+      result.x = b;
+      result.f_at_x = fb;
+      result.converged = true;
+      return result;
+    }
+    double s;
+    if (fa != fc && fb != fc) {
+      // Inverse quadratic interpolation.
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) +
+          b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      // Secant step.
+      s = b - fb * (b - a) / (fb - fa);
+    }
+    const double mid = (3.0 * a + b) / 4.0;
+    const bool between = (s > std::fmin(mid, b)) && (s < std::fmax(mid, b));
+    const bool bad_step =
+        !between ||
+        (mflag && std::fabs(s - b) >= std::fabs(b - c) / 2.0) ||
+        (!mflag && std::fabs(s - b) >= std::fabs(c - d) / 2.0) ||
+        (mflag && std::fabs(b - c) < options.x_tolerance) ||
+        (!mflag && std::fabs(c - d) < options.x_tolerance);
+    if (bad_step) {
+      s = 0.5 * (a + b);
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if ((fa < 0.0) != (fs < 0.0)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::fabs(fa) < std::fabs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  result.x = b;
+  result.f_at_x = fb;
+  result.converged = std::fabs(fb) <= options.f_tolerance;
+  return result;
+}
+
+std::optional<std::pair<double, double>> ExpandBracketUp(
+    const std::function<double(double)>& f, double lo, double hi,
+    double factor, int max_expansions) {
+  NDV_CHECK(lo <= hi);
+  NDV_CHECK(factor > 1.0);
+  const double f_lo = f(lo);
+  double f_hi = f(hi);
+  for (int i = 0; i < max_expansions; ++i) {
+    if (Bracketed(f_lo, f_hi)) return std::make_pair(lo, hi);
+    hi *= factor;
+    f_hi = f(hi);
+  }
+  if (Bracketed(f_lo, f_hi)) return std::make_pair(lo, hi);
+  return std::nullopt;
+}
+
+}  // namespace ndv

@@ -1,0 +1,51 @@
+#ifndef NDV_COMMON_SOLVER_H_
+#define NDV_COMMON_SOLVER_H_
+
+#include <functional>
+#include <optional>
+
+namespace ndv {
+
+// One-dimensional root finding. The AE estimator reduces to solving a
+// fixed-point equation in the latent number of low-frequency classes; these
+// solvers do the numerical work.
+
+struct RootOptions {
+  // Absolute x tolerance at which iteration stops.
+  double x_tolerance = 1e-9;
+  // |f(x)| at which iteration stops.
+  double f_tolerance = 1e-12;
+  int max_iterations = 200;
+};
+
+struct RootResult {
+  double x = 0.0;
+  double f_at_x = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Finds a root of f in [lo, hi] by bisection. Requires lo <= hi and
+// f(lo) * f(hi) <= 0 (a sign change, or a root at an endpoint); returns
+// std::nullopt when the bracket is invalid.
+std::optional<RootResult> Bisect(const std::function<double(double)>& f,
+                                 double lo, double hi,
+                                 const RootOptions& options = {});
+
+// Brent's method: inverse-quadratic interpolation with a bisection safety
+// net. Same bracket contract as Bisect; typically converges in far fewer
+// function evaluations.
+std::optional<RootResult> Brent(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& options = {});
+
+// Expands [lo, hi] geometrically upward (multiplying hi by `factor`) until
+// the interval brackets a sign change of f or `max_expansions` is exhausted.
+// Returns the bracketing interval on success.
+std::optional<std::pair<double, double>> ExpandBracketUp(
+    const std::function<double(double)>& f, double lo, double hi,
+    double factor = 2.0, int max_expansions = 200);
+
+}  // namespace ndv
+
+#endif  // NDV_COMMON_SOLVER_H_

@@ -1,0 +1,61 @@
+#ifndef NDV_COMMON_THREAD_POOL_H_
+#define NDV_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ndv {
+
+// A small fixed-size worker pool for embarrassingly parallel experiment
+// loops (per-column sweeps, independent trials). Tasks are void() closures;
+// Wait() blocks until everything submitted so far has finished. Not a
+// general-purpose scheduler: no futures, no priorities, no work stealing —
+// the harness needs none of that.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  // Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and no task is executing.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(i) for i in [0, count) across up to `num_threads` workers and
+// waits for completion. fn must be safe to call concurrently for distinct
+// i. With num_threads <= 1 the loop runs inline (deterministic order).
+void ParallelFor(int64_t count, int num_threads,
+                 const std::function<void(int64_t)>& fn);
+
+// A reasonable default worker count: hardware concurrency capped at 16.
+int DefaultThreadCount();
+
+}  // namespace ndv
+
+#endif  // NDV_COMMON_THREAD_POOL_H_

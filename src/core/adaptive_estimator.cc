@@ -1,0 +1,115 @@
+#include "core/adaptive_estimator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/solver.h"
+
+namespace ndv {
+namespace {
+
+// Precomputed pieces of N(m) and Den(m) that do not depend on m.
+struct FixedTerms {
+  double numer_high = 0.0;  // sum_{i>=3} (1 - i/r)^r f_i        (or e^{-i} f_i)
+  double denom_high = 0.0;  // sum_{i>=3} i (1 - i/r)^{r-1} f_i  (or i e^{-i} f_i)
+  double low_mass = 0.0;    // f1 + 2 f2
+};
+
+FixedTerms ComputeFixedTerms(const SampleSummary& summary, AeVariant variant) {
+  FixedTerms terms;
+  const double r = static_cast<double>(summary.r());
+  terms.low_mass =
+      static_cast<double>(summary.f(1)) + 2.0 * static_cast<double>(summary.f(2));
+  for (int64_t i = 3; i <= summary.freq.MaxFrequency(); ++i) {
+    const double fi = static_cast<double>(summary.f(i));
+    if (fi == 0.0) continue;
+    const double ii = static_cast<double>(i);
+    if (variant == AeVariant::kExactPower) {
+      terms.numer_high += PowOneMinus(ii / r, r) * fi;
+      terms.denom_high += ii * PowOneMinus(ii / r, r - 1.0) * fi;
+    } else {
+      terms.numer_high += std::exp(-ii) * fi;
+      terms.denom_high += ii * std::exp(-ii) * fi;
+    }
+  }
+  return terms;
+}
+
+// The residual h(m) = m - f1 - f2 - f1 * N(m)/Den(m); AE's m is its root.
+double Residual(double m, const SampleSummary& summary,
+                const FixedTerms& terms, AeVariant variant) {
+  const double r = static_cast<double>(summary.r());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double f2 = static_cast<double>(summary.f(2));
+  double low_numer;
+  double low_denom;
+  if (variant == AeVariant::kExactPower) {
+    const double p_each = terms.low_mass / (r * m);  // per-class probability
+    const double clamped = Clamp(p_each, 0.0, 1.0);
+    low_numer = m * PowOneMinus(clamped, r);
+    low_denom = terms.low_mass * PowOneMinus(clamped, r - 1.0);
+  } else {
+    const double miss = std::exp(-terms.low_mass / m);
+    low_numer = m * miss;
+    low_denom = terms.low_mass * miss;
+  }
+  const double numer = terms.numer_high + low_numer;
+  const double denom = terms.denom_high + low_denom;
+  if (denom <= 0.0) {
+    // Degenerate: no information about low-frequency classes; treat the
+    // correction as unbounded so the caller saturates.
+    return -INFINITY;
+  }
+  return m - f1 - f2 - f1 * numer / denom;
+}
+
+}  // namespace
+
+AdaptiveEstimator::AdaptiveEstimator(AeVariant variant) : variant_(variant) {}
+
+std::optional<double> AdaptiveEstimator::SolveForM(
+    const SampleSummary& summary, AeVariant variant) {
+  const double f1 = static_cast<double>(summary.f(1));
+  const double f2 = static_cast<double>(summary.f(2));
+  if (f1 == 0.0) {
+    // No singletons: the correction K f1 vanishes and m degenerates to f2
+    // (D_hat = d). This also covers f1 = f2 = 0.
+    return f2;
+  }
+  if (summary.r() < 2) return std::nullopt;
+
+  const FixedTerms terms = ComputeFixedTerms(summary, variant);
+  const auto h = [&](double m) {
+    return Residual(m, summary, terms, variant);
+  };
+  // m counts all low-frequency classes, so m >= f1 + f2 (the observed
+  // ones). h(f1 + f2) <= 0; expand upward until h turns positive. The
+  // equation has no root for degenerate samples (e.g. all singletons),
+  // where the estimate saturates at n.
+  const double lo = f1 + f2;
+  const double n = static_cast<double>(summary.n());
+  const auto bracket = ExpandBracketUp(h, lo, std::fmax(2.0 * lo, n), 2.0,
+                                       /*max_expansions=*/200);
+  if (!bracket.has_value()) return std::nullopt;
+  RootOptions options;
+  options.x_tolerance = 1e-9 * std::fmax(1.0, bracket->second);
+  const auto root = Brent(h, bracket->first, bracket->second, options);
+  if (!root.has_value() || !root->converged) return std::nullopt;
+  return root->x;
+}
+
+double AdaptiveEstimator::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double f2 = static_cast<double>(summary.f(2));
+  const std::optional<double> m = SolveForM(summary, variant_);
+  if (!m.has_value()) {
+    // No finite solution: the sample looks all-low-frequency; saturate.
+    return ApplySanityBounds(INFINITY, summary);
+  }
+  return ApplySanityBounds(d + *m - f1 - f2, summary);
+}
+
+}  // namespace ndv

@@ -1,0 +1,57 @@
+#ifndef NDV_CORE_ADAPTIVE_ESTIMATOR_H_
+#define NDV_CORE_ADAPTIVE_ESTIMATOR_H_
+
+#include <optional>
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// AE — the paper's Adaptive Estimator (Sections 5.2-5.3).
+//
+// AE keeps GEE's generalized-jackknife form D_hat = d + K f1 but picks the
+// coefficient K from the sample instead of fixing it at sqrt(n/r) - 1:
+// classes observed i >= 3 times are plugged into the unbiasedness condition
+// at p = i/r; the f1 and f2 classes are modeled as m equally-likely
+// low-frequency classes sharing total probability (f1 + 2 f2)/r. Requiring
+// E[D_hat] = D then forces m to satisfy
+//
+//   m - f1 - f2 = f1 * N(m) / Den(m),   where
+//   N(m)   = sum_{i>=3} (1 - i/r)^r f_i     + m (1 - (f1+2f2)/(r m))^r,
+//   Den(m) = sum_{i>=3} i (1 - i/r)^{r-1} f_i
+//            + (f1+2f2) (1 - (f1+2f2)/(r m))^{r-1},
+//
+// and the estimate is D_hat = d + m - f1 - f2 (with sanity bounds).
+//
+// The paper also derives an exponential approximation ((1-i/r)^r -> e^{-i},
+// (1 - c/(rm))^{r-1} -> e^{-c/m}); both variants are provided.
+
+enum class AeVariant {
+  kExactPower,        // the (1 - x)^r forms, solved numerically
+  kExpApproximation,  // the paper's e^{-x} simplification
+};
+
+class AdaptiveEstimator final : public Estimator {
+ public:
+  explicit AdaptiveEstimator(AeVariant variant = AeVariant::kExactPower);
+
+  std::string_view name() const override {
+    return variant_ == AeVariant::kExactPower ? "AE" : "AE-exp";
+  }
+  double Estimate(const SampleSummary& summary) const override;
+
+  // Solves the fixed-point equation for m (the latent number of
+  // low-frequency classes). Returns std::nullopt when no finite solution
+  // exists (e.g. an all-singleton sample, where the equation has no root
+  // and the estimate saturates at the sanity upper bound n). Exposed for
+  // tests.
+  static std::optional<double> SolveForM(const SampleSummary& summary,
+                                         AeVariant variant);
+
+ private:
+  AeVariant variant_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_CORE_ADAPTIVE_ESTIMATOR_H_

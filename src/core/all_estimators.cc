@@ -1,0 +1,43 @@
+#include "core/all_estimators.h"
+
+#include "core/adaptive_estimator.h"
+#include "core/gee.h"
+#include "core/hybgee.h"
+#include "estimators/hybrid.h"
+#include "estimators/jackknife.h"
+#include "estimators/registry.h"
+
+namespace ndv {
+
+std::vector<std::unique_ptr<Estimator>> MakeAllEstimators() {
+  std::vector<std::unique_ptr<Estimator>> estimators;
+  estimators.push_back(std::make_unique<Gee>());
+  estimators.push_back(std::make_unique<AdaptiveEstimator>());
+  estimators.push_back(
+      std::make_unique<AdaptiveEstimator>(AeVariant::kExpApproximation));
+  estimators.push_back(std::make_unique<HybGee>());
+  for (auto& baseline : MakeBaselineEstimators()) {
+    estimators.push_back(std::move(baseline));
+  }
+  return estimators;
+}
+
+std::vector<std::unique_ptr<Estimator>> MakePaperComparisonEstimators() {
+  std::vector<std::unique_ptr<Estimator>> estimators;
+  estimators.push_back(std::make_unique<Gee>());
+  estimators.push_back(std::make_unique<AdaptiveEstimator>());
+  estimators.push_back(std::make_unique<HybGee>());
+  estimators.push_back(std::make_unique<HybSkew>());
+  estimators.push_back(std::make_unique<HybVar>());
+  estimators.push_back(std::make_unique<StabilizedJackknife>());
+  return estimators;
+}
+
+std::unique_ptr<Estimator> MakeEstimatorByName(std::string_view name) {
+  for (auto& estimator : MakeAllEstimators()) {
+    if (estimator->name() == name) return std::move(estimator);
+  }
+  return nullptr;
+}
+
+}  // namespace ndv

@@ -1,0 +1,25 @@
+#ifndef NDV_CORE_ALL_ESTIMATORS_H_
+#define NDV_CORE_ALL_ESTIMATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// The paper's estimators (GEE, AE, HYBGEE) followed by every baseline, in a
+// stable order.
+std::vector<std::unique_ptr<Estimator>> MakeAllEstimators();
+
+// The six estimators the paper's experimental section compares:
+// GEE, AE, HYBGEE, HYBSKEW, HYBVAR (reconstruction), DUJ2A.
+std::vector<std::unique_ptr<Estimator>> MakePaperComparisonEstimators();
+
+// Creates any estimator (paper or baseline) by its name() string, or
+// nullptr when unknown.
+std::unique_ptr<Estimator> MakeEstimatorByName(std::string_view name);
+
+}  // namespace ndv
+
+#endif  // NDV_CORE_ALL_ESTIMATORS_H_

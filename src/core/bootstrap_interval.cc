@@ -1,0 +1,90 @@
+#include "core/bootstrap_interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/descriptive.h"
+
+namespace ndv {
+
+SampleSummary ResampleSummary(const SampleSummary& summary, Rng& rng) {
+  const int64_t r = summary.r();
+  NDV_CHECK(r >= 1);
+  // Expand the profile to one class id per sampled item; item k belongs to
+  // the class owning position k.
+  std::vector<int32_t> class_of_item(static_cast<size_t>(r));
+  int32_t class_id = 0;
+  int64_t position = 0;
+  for (int64_t i = 1; i <= summary.freq.MaxFrequency(); ++i) {
+    for (int64_t k = 0; k < summary.freq.f(i); ++k) {
+      for (int64_t occurrence = 0; occurrence < i; ++occurrence) {
+        class_of_item[static_cast<size_t>(position++)] = class_id;
+      }
+      ++class_id;
+    }
+  }
+  NDV_CHECK(position == r);
+
+  // Draw r items with replacement; count how often each class is hit.
+  std::vector<int64_t> counts(static_cast<size_t>(class_id), 0);
+  for (int64_t k = 0; k < r; ++k) {
+    const uint64_t item = rng.NextBounded(static_cast<uint64_t>(r));
+    ++counts[static_cast<size_t>(class_of_item[item])];
+  }
+
+  SampleSummary resampled;
+  resampled.table_rows = summary.table_rows;
+  resampled.sample_rows = r;
+  resampled.distinct_rows = summary.distinct_rows;
+  resampled.freq = FrequencyProfile::FromClassCounts(counts);
+  resampled.Validate();
+  return resampled;
+}
+
+BootstrapInterval ComputeBootstrapInterval(const Estimator& estimator,
+                                           const SampleSummary& summary,
+                                           const BootstrapOptions& options) {
+  NDV_CHECK(options.replicates >= 2);
+  NDV_CHECK(options.confidence > 0.0 && options.confidence < 1.0);
+  summary.Validate();
+  NDV_CHECK(summary.r() >= 1);
+
+  BootstrapInterval interval;
+  interval.point_estimate = estimator.Estimate(summary);
+
+  Rng rng(options.seed);
+  std::vector<double> replicates;
+  replicates.reserve(static_cast<size_t>(options.replicates));
+  RunningStats stats;
+  for (int64_t b = 0; b < options.replicates; ++b) {
+    const SampleSummary resampled = ResampleSummary(summary, rng);
+    const double estimate = estimator.Estimate(resampled);
+    replicates.push_back(estimate);
+    stats.Add(estimate);
+  }
+  std::sort(replicates.begin(), replicates.end());
+
+  const double alpha = 1.0 - options.confidence;
+  const auto percentile = [&](double p) {
+    const double index =
+        p * static_cast<double>(replicates.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(index));
+    const size_t hi = static_cast<size_t>(std::ceil(index));
+    const double weight = index - std::floor(index);
+    return replicates[lo] * (1.0 - weight) + replicates[hi] * weight;
+  };
+  interval.lower = percentile(alpha / 2.0);
+  interval.upper = percentile(1.0 - alpha / 2.0);
+  interval.replicate_mean = stats.mean();
+  interval.replicate_stddev = stats.PopulationStdDev();
+  if (options.bias_correction && interval.replicate_mean > 0.0) {
+    const double scale = interval.point_estimate / interval.replicate_mean;
+    interval.lower *= scale;
+    interval.upper *= scale;
+  }
+  return interval;
+}
+
+}  // namespace ndv

@@ -1,0 +1,59 @@
+#ifndef NDV_CORE_BOOTSTRAP_INTERVAL_H_
+#define NDV_CORE_BOOTSTRAP_INTERVAL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// Bootstrap confidence intervals for arbitrary estimators.
+//
+// GEE ships an analytic interval; the paper argues every estimator should
+// report one ("such measures of confidence should be required of all
+// estimators"). For estimators without analytic intervals this module
+// supplies the standard nonparametric bootstrap: resample the r observed
+// rows with replacement B times, re-run the estimator on each resampled
+// profile, and take percentile bounds of the resulting estimates.
+//
+// Caveat (inherent, not a bug): the bootstrap quantifies *sampling
+// variability* of the estimator, not its bias. Theorem 1 says no sample
+// statistic can bound the bias distribution-independently, so bootstrap
+// intervals can exclude the true D on adversarial inputs; GEE's analytic
+// [LOWER, UPPER] is the only interval here with a coverage guarantee.
+
+struct BootstrapInterval {
+  double point_estimate = 0.0;  // estimator on the original sample
+  double lower = 0.0;           // interval bounds (bias-corrected when
+  double upper = 0.0;           //   options.bias_correction is set)
+  double replicate_mean = 0.0;
+  double replicate_stddev = 0.0;
+};
+
+struct BootstrapOptions {
+  int64_t replicates = 200;
+  double confidence = 0.95;  // central coverage of the percentile interval
+  uint64_t seed = 1;
+  // Resampling an r-sample merges its singletons, so replicate estimates
+  // are systematically low relative to the point estimate. The ratio
+  // correction rescales the percentile bounds by
+  // point_estimate / replicate_mean, recentering the interval (appropriate
+  // for a positive scale quantity like D). Disable to get raw percentiles.
+  bool bias_correction = true;
+};
+
+// Computes the interval. The summary must have r >= 1; replicates >= 2;
+// 0 < confidence < 1. Deterministic in options.seed.
+BootstrapInterval ComputeBootstrapInterval(const Estimator& estimator,
+                                           const SampleSummary& summary,
+                                           const BootstrapOptions& options);
+
+// Resamples `summary` once: draws r class-labels with replacement where a
+// class observed i times has weight i/r, and rebuilds the frequency
+// profile. Exposed for tests.
+SampleSummary ResampleSummary(const SampleSummary& summary, Rng& rng);
+
+}  // namespace ndv
+
+#endif  // NDV_CORE_BOOTSTRAP_INTERVAL_H_

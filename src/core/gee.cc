@@ -1,0 +1,65 @@
+#include "core/gee.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace ndv {
+
+double Gee::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double scale = std::sqrt(1.0 / summary.q());
+  return scale * f1 + (d - f1);
+}
+
+double Gee::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+GeeBounds ComputeGeeBounds(const SampleSummary& summary) {
+  CheckEstimatorInput(summary);
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  GeeBounds bounds;
+  bounds.lower = d;
+  bounds.upper = ApplySanityBounds(f1 / summary.q() + (d - f1), summary);
+  bounds.estimate = ApplySanityBounds(Gee::Raw(summary), summary);
+  NDV_DCHECK(bounds.lower <= bounds.estimate);
+  NDV_DCHECK(bounds.estimate <= bounds.upper);
+  return bounds;
+}
+
+double GeeStandardErrorEstimate(const SampleSummary& summary) {
+  CheckEstimatorInput(summary);
+  const double scale = 1.0 / summary.q();  // n / r
+  const double f1 = static_cast<double>(summary.f(1));
+  const double repeats = static_cast<double>(summary.freq.RepeatedValues());
+  return std::sqrt(scale * f1 + repeats);
+}
+
+double GeeExpectedErrorBound(int64_t n, int64_t r) {
+  NDV_CHECK(1 <= r && r <= n);
+  return M_E * std::sqrt(static_cast<double>(n) / static_cast<double>(r));
+}
+
+double GeeExpectedValue(const std::vector<double>& class_probabilities,
+                        int64_t n, int64_t r) {
+  NDV_CHECK(1 <= r && r <= n);
+  const double scale =
+      std::sqrt(static_cast<double>(n) / static_cast<double>(r));
+  double expected = 0.0;
+  for (double p : class_probabilities) {
+    NDV_CHECK(p >= 0.0 && p <= 1.0);
+    const double miss = PowOneMinus(p, static_cast<double>(r));
+    const double x = 1.0 - miss;
+    const double y = static_cast<double>(r) * p *
+                     PowOneMinus(p, static_cast<double>(r - 1));
+    expected += x + (scale - 1.0) * y;
+  }
+  return expected;
+}
+
+}  // namespace ndv

@@ -1,0 +1,72 @@
+#ifndef NDV_CORE_GEE_H_
+#define NDV_CORE_GEE_H_
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// GEE — the paper's Guaranteed-Error Estimator (Section 4):
+//
+//     D_hat = sqrt(n/r) * f1 + sum_{i >= 2} f_i.
+//
+// Intuition: values seen more than once are "high frequency" and counted
+// once each; the f1 singletons represent the low-frequency population,
+// which contains between f1 and (n/r) f1 classes. GEE takes the geometric
+// mean of those two extremes, minimizing worst-case ratio error.
+//
+// Theorem 2: the expected ratio error is O(sqrt(n/r)) on EVERY input —
+// matching the Theorem 1 lower bound within a small constant (~e). GEE is
+// the only estimator in this library with a distribution-independent
+// guarantee.
+class Gee final : public Estimator {
+ public:
+  std::string_view name() const override { return "GEE"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  // Unclamped value sqrt(n/r) f1 + (d - f1).
+  static double Raw(const SampleSummary& summary);
+};
+
+// The confidence interval that accompanies GEE (Section 4): with high
+// probability the true D lies in [lower, upper] where
+//     lower = d,     upper = (n/r) * f1 + sum_{i >= 2} f_i.
+// The interval width signals the confidence in the estimate; it collapses
+// rapidly as the sampling fraction grows (paper Tables 1-2).
+struct GeeBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+  double estimate = 0.0;  // the GEE point estimate, always within bounds
+
+  double width() const { return upper - lower; }
+};
+
+// Computes the GEE estimate together with its [LOWER, UPPER] interval.
+// All three values are clamped to the sanity range [d, n].
+GeeBounds ComputeGeeBounds(const SampleSummary& summary);
+
+// Plug-in estimate of GEE's standard deviation, the "indication of the
+// likely variance" the paper asks every estimator to provide. Under the
+// Poissonization approximation each f_i is approximately Poisson with
+// variance ~ f_i, and GEE = sqrt(n/r) f1 + sum_{i>=2} f_i is linear in the
+// f_i, so
+//   Var[GEE] ~ (n/r) f1 + sum_{i>=2} f_i.
+// (Negatively correlated f_i make this mildly conservative.) Requires
+// r >= 1.
+double GeeStandardErrorEstimate(const SampleSummary& summary);
+
+// Theorem 2's guarantee, usable as an a-priori error budget: the expected
+// ratio error of GEE on a sample of r of n rows is at most about
+// e * sqrt(n/r) (1 + o(1)). Requires 1 <= r <= n.
+double GeeExpectedErrorBound(int64_t n, int64_t r);
+
+// The exact expected value of the GEE estimator under with-replacement
+// sampling for a population given by class probabilities p_i:
+//   E[GEE] = sum_i [ x_i + (sqrt(n/r) - 1) y_i ],
+// with x_i = 1-(1-p_i)^r and y_i = r p_i (1-p_i)^{r-1} (the quantities in
+// the Theorem 2 proof). Used by tests to validate the analysis.
+double GeeExpectedValue(const std::vector<double>& class_probabilities,
+                        int64_t n, int64_t r);
+
+}  // namespace ndv
+
+#endif  // NDV_CORE_GEE_H_

@@ -1,0 +1,26 @@
+#include "core/hybgee.h"
+
+#include "common/check.h"
+#include "core/gee.h"
+#include "estimators/jackknife.h"
+#include "profile/skew_statistics.h"
+
+namespace ndv {
+
+HybGee::HybGee(double significance) : significance_(significance) {
+  NDV_CHECK(significance > 0.0 && significance < 1.0);
+}
+
+bool HybGee::WouldUseGeeBranch(const SampleSummary& summary) const {
+  return TestSkew(summary.freq, significance_).high_skew;
+}
+
+double HybGee::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  const double raw = WouldUseGeeBranch(summary)
+                         ? Gee::Raw(summary)
+                         : SmoothedJackknife::Raw(summary);
+  return ApplySanityBounds(raw, summary);
+}
+
+}  // namespace ndv

@@ -1,0 +1,30 @@
+#ifndef NDV_CORE_HYBGEE_H_
+#define NDV_CORE_HYBGEE_H_
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// HYBGEE (Section 5.1): the VLDB'95 hybrid with the high-skew branch
+// replaced by GEE. The chi-squared uniformity test routes low-skew samples
+// to the smoothed jackknife (where it excels) and high-skew samples to GEE
+// (which the paper shows beats Shlosser on high skew and on all real data).
+// Matches HYBSKEW on low skew by construction; strictly better on high
+// skew.
+class HybGee final : public Estimator {
+ public:
+  explicit HybGee(double significance = 0.975);
+
+  std::string_view name() const override { return "HYBGEE"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  // True when the skew test routes this sample to the GEE branch.
+  bool WouldUseGeeBranch(const SampleSummary& summary) const;
+
+ private:
+  double significance_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_CORE_HYBGEE_H_

@@ -1,0 +1,106 @@
+#include "core/lower_bound.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/descriptive.h"
+#include "table/column_sampling.h"
+
+namespace ndv {
+
+double TheoremOneErrorBound(int64_t n, int64_t r, double gamma) {
+  NDV_CHECK(1 <= r && r < n);
+  NDV_CHECK(gamma < 1.0);
+  NDV_CHECK_MSG(gamma > std::exp(-static_cast<double>(r)),
+                "Theorem 1 requires gamma > e^{-r}");
+  const double k = static_cast<double>(n - r) /
+                   (2.0 * static_cast<double>(r)) * std::log(1.0 / gamma);
+  return std::sqrt(k);
+}
+
+int64_t TheoremOneK(int64_t n, int64_t r, double gamma) {
+  const double bound = TheoremOneErrorBound(n, r, gamma);
+  return static_cast<int64_t>(std::floor(bound * bound));
+}
+
+std::unique_ptr<Int64Column> MakeScenarioA(int64_t n) {
+  NDV_CHECK(n >= 1);
+  return std::make_unique<Int64Column>(
+      std::vector<int64_t>(static_cast<size_t>(n), 1));
+}
+
+std::unique_ptr<Int64Column> MakeScenarioB(int64_t n, int64_t k, Rng& rng) {
+  NDV_CHECK(0 <= k && k < n);
+  std::vector<int64_t> values(static_cast<size_t>(n), 1);
+  // Choose k distinct rows for the singletons.
+  std::unordered_set<int64_t> rows;
+  rows.reserve(static_cast<size_t>(k));
+  int64_t next_value = 2;
+  while (static_cast<int64_t>(rows.size()) < k) {
+    const int64_t row =
+        static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+    if (rows.insert(row).second) {
+      values[static_cast<size_t>(row)] = next_value++;
+    }
+  }
+  return std::make_unique<Int64Column>(std::move(values));
+}
+
+double ScenarioBAllHeavyProbability(int64_t n, int64_t k, int64_t r) {
+  NDV_CHECK(0 <= k && k < n);
+  NDV_CHECK(0 <= r && r <= n - k);
+  double log_p = 0.0;
+  for (int64_t i = 1; i <= r; ++i) {
+    log_p += std::log(static_cast<double>(n - i - k + 1)) -
+             std::log(static_cast<double>(n - i + 1));
+  }
+  return std::exp(log_p);
+}
+
+AdversarialGameResult PlayAdversarialGame(const Estimator& estimator,
+                                          int64_t n, int64_t r, double gamma,
+                                          int64_t trials, uint64_t seed) {
+  NDV_CHECK(trials >= 1);
+  AdversarialGameResult result;
+  result.trials = trials;
+  result.k = TheoremOneK(n, r, gamma);
+  result.bound = std::sqrt(static_cast<double>(result.k));
+
+  Rng rng(seed);
+  const auto scenario_a = MakeScenarioA(n);
+  const auto scenario_b = MakeScenarioB(n, result.k, rng);
+  const double d_a = 1.0;
+  const double d_b = static_cast<double>(result.k + 1);
+
+  RunningStats errors_a;
+  RunningStats errors_b;
+  RunningStats estimates_a;
+  RunningStats estimates_b;
+  int64_t hits = 0;
+  for (int64_t t = 0; t < trials; ++t) {
+    const SampleSummary sample_a = SampleColumn(
+        *scenario_a, r, SamplingScheme::kWithoutReplacement, rng);
+    const SampleSummary sample_b = SampleColumn(
+        *scenario_b, r, SamplingScheme::kWithoutReplacement, rng);
+    const double estimate_a = estimator.Estimate(sample_a);
+    const double estimate_b = estimator.Estimate(sample_b);
+    const double error_a = RatioError(estimate_a, d_a);
+    const double error_b = RatioError(estimate_b, d_b);
+    estimates_a.Add(estimate_a);
+    estimates_b.Add(estimate_b);
+    errors_a.Add(error_a);
+    errors_b.Add(error_b);
+    if (std::fmax(error_a, error_b) >= result.bound) ++hits;
+  }
+  result.mean_error_a = errors_a.mean();
+  result.mean_error_b = errors_b.mean();
+  result.mean_estimate_a = estimates_a.mean();
+  result.mean_estimate_b = estimates_b.mean();
+  result.fraction_at_least_bound =
+      static_cast<double>(hits) / static_cast<double>(trials);
+  return result;
+}
+
+}  // namespace ndv

@@ -1,0 +1,64 @@
+#ifndef NDV_CORE_LOWER_BOUND_H_
+#define NDV_CORE_LOWER_BOUND_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "estimators/estimator.h"
+#include "table/column.h"
+
+namespace ndv {
+
+// Theorem 1 machinery: the paper's negative result and the adversarial
+// construction behind it.
+//
+// Theorem 1: any estimator (even adaptive and randomized) that examines at
+// most r of n rows incurs, on some input, ratio error at least
+//     sqrt( (n - r) / (2 r) * ln(1/gamma) )
+// with probability at least gamma, for any gamma > e^{-r}.
+
+// The error bound above. Requires 1 <= r < n and e^{-r} < gamma < 1.
+double TheoremOneErrorBound(int64_t n, int64_t r, double gamma);
+
+// The adversarial k from the proof: k = (n - r)/(2 r) * ln(1/gamma),
+// the number of singleton values planted in Scenario B.
+int64_t TheoremOneK(int64_t n, int64_t r, double gamma);
+
+// Scenario A: a column of n copies of a single value (D = 1).
+std::unique_ptr<Int64Column> MakeScenarioA(int64_t n);
+
+// Scenario B: one value occupying n - k rows plus k distinct singletons
+// placed at uniformly random rows (D = k + 1). Requires 0 <= k < n.
+std::unique_ptr<Int64Column> MakeScenarioB(int64_t n, int64_t k, Rng& rng);
+
+// Exact probability that a without-replacement sample of r rows from
+// Scenario B contains only the heavy value (the event E in the proof):
+//     prod_{i=1..r} (n - i - k + 1) / (n - i + 1).
+double ScenarioBAllHeavyProbability(int64_t n, int64_t k, int64_t r);
+
+// Result of playing the two-scenario game against a concrete estimator.
+struct AdversarialGameResult {
+  int64_t trials = 0;
+  int64_t k = 0;                  // singletons planted in Scenario B
+  double bound = 0.0;             // Theorem 1 error bound sqrt(k)
+  double mean_error_a = 0.0;      // mean ratio error on Scenario A
+  double mean_error_b = 0.0;      // mean ratio error on Scenario B
+  double mean_estimate_a = 0.0;   // mean estimate on Scenario A (E[D_hat])
+  double mean_estimate_b = 0.0;   // mean estimate on Scenario B
+  // Fraction of trials in which max(error_A, error_B) >= bound, i.e. the
+  // theorem's conclusion observed empirically. (Errors are measured on
+  // independent samples of the two scenarios.)
+  double fraction_at_least_bound = 0.0;
+};
+
+// Runs `trials` independent rounds: sample r rows without replacement from
+// each scenario, estimate, and record ratio errors against D_A = 1 and
+// D_B = k + 1. Deterministic in `seed`.
+AdversarialGameResult PlayAdversarialGame(const Estimator& estimator,
+                                          int64_t n, int64_t r, double gamma,
+                                          int64_t trials, uint64_t seed);
+
+}  // namespace ndv
+
+#endif  // NDV_CORE_LOWER_BOUND_H_

@@ -1,0 +1,140 @@
+#include "core/probe_strategy.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/descriptive.h"
+#include "core/lower_bound.h"
+#include "table/column_sampling.h"
+
+namespace ndv {
+namespace {
+
+// Uniform draw over unprobed rows by rejection; fine while r << n and
+// correct (if slow) otherwise.
+int64_t UniformUnprobed(const ProbedSetTracker& tracker, int64_t count,
+                        int64_t n, Rng& rng) {
+  NDV_CHECK(count < n);
+  while (true) {
+    const int64_t row =
+        static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+    if (!tracker.Contains(row)) return row;
+  }
+}
+
+}  // namespace
+
+int64_t UniformProbe::NextRow(std::span<const int64_t> probed_rows,
+                              std::span<const uint64_t> /*probed_hashes*/,
+                              int64_t n, Rng& rng) {
+  tracker_.Sync(probed_rows);
+  return UniformUnprobed(tracker_,
+                         static_cast<int64_t>(probed_rows.size()), n, rng);
+}
+
+int64_t StridedProbe::NextRow(std::span<const int64_t> probed_rows,
+                              std::span<const uint64_t> /*probed_hashes*/,
+                              int64_t n, Rng& rng) {
+  if (!initialized_) {
+    phase_ = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+    // A stride coprime-ish with n covers the table evenly; a large odd
+    // stride works for the game sizes used here.
+    stride_ = n / 1023 * 2 + 1;
+    initialized_ = true;
+  }
+  tracker_.Sync(probed_rows);
+  const int64_t index = static_cast<int64_t>(probed_rows.size());
+  int64_t row = (phase_ + index * stride_) % n;
+  while (tracker_.Contains(row)) {
+    row = (row + 1) % n;
+  }
+  return row;
+}
+
+int64_t NoveltyHunterProbe::NextRow(std::span<const int64_t> probed_rows,
+                                    std::span<const uint64_t> probed_hashes,
+                                    int64_t n, Rng& rng) {
+  tracker_.Sync(probed_rows);
+  const int64_t count = static_cast<int64_t>(probed_rows.size());
+  if (probed_rows.empty()) return UniformUnprobed(tracker_, count, n, rng);
+  // Absorb every hash but the newest, then ask if the newest is novel.
+  while (hashes_synced_ + 1 < probed_hashes.size()) {
+    seen_hashes_.insert(probed_hashes[hashes_synced_]);
+    ++hashes_synced_;
+  }
+  const bool novel = !seen_hashes_.contains(probed_hashes.back());
+  if (novel) {
+    // Explore the neighborhood of the discovery.
+    const int64_t center = probed_rows.back();
+    for (int64_t delta = 1; delta <= 8; ++delta) {
+      for (int64_t sign : {int64_t{1}, int64_t{-1}}) {
+        const int64_t row = ((center + sign * delta) % n + n) % n;
+        if (!tracker_.Contains(row)) return row;
+      }
+    }
+  }
+  return UniformUnprobed(tracker_, count, n, rng);
+}
+
+ProbeGameResult PlayProbeGame(ProbeStrategy& strategy,
+                              const Estimator& estimator, int64_t n,
+                              int64_t r, double gamma, int64_t trials,
+                              uint64_t seed) {
+  NDV_CHECK(trials >= 1);
+  NDV_CHECK(1 <= r && r < n);
+  ProbeGameResult result;
+  result.strategy = std::string(strategy.name());
+  result.k = TheoremOneK(n, r, gamma);
+  result.bound = std::sqrt(static_cast<double>(result.k));
+
+  Rng rng(seed);
+  const auto scenario_a = MakeScenarioA(n);
+  const auto scenario_b = MakeScenarioB(n, result.k, rng);
+
+  const auto play = [&](const Column& column) -> double {
+    strategy.Reset();
+    std::vector<int64_t> rows;
+    std::vector<uint64_t> hashes;
+    ProbedSetTracker seen;
+    rows.reserve(static_cast<size_t>(r));
+    hashes.reserve(static_cast<size_t>(r));
+    for (int64_t probe = 0; probe < r; ++probe) {
+      const int64_t row = strategy.NextRow(rows, hashes, n, rng);
+      NDV_CHECK(0 <= row && row < n);
+      seen.Sync(rows);
+      NDV_CHECK_MSG(!seen.Contains(row), "strategy repeated a row");
+      rows.push_back(row);
+      hashes.push_back(column.HashAt(row));
+    }
+    const SampleSummary summary = SummarizeRows(column, rows);
+    return estimator.Estimate(summary);
+  };
+
+  RunningStats errors_a;
+  RunningStats errors_b;
+  int64_t hits = 0;
+  for (int64_t t = 0; t < trials; ++t) {
+    const double error_a = RatioError(play(*scenario_a), 1.0);
+    const double error_b =
+        RatioError(play(*scenario_b), static_cast<double>(result.k + 1));
+    errors_a.Add(error_a);
+    errors_b.Add(error_b);
+    if (std::fmax(error_a, error_b) >= result.bound) ++hits;
+  }
+  result.mean_error_a = errors_a.mean();
+  result.mean_error_b = errors_b.mean();
+  result.fraction_at_least_bound =
+      static_cast<double>(hits) / static_cast<double>(trials);
+  return result;
+}
+
+std::vector<std::unique_ptr<ProbeStrategy>> MakeAllProbeStrategies() {
+  std::vector<std::unique_ptr<ProbeStrategy>> strategies;
+  strategies.push_back(std::make_unique<UniformProbe>());
+  strategies.push_back(std::make_unique<StridedProbe>());
+  strategies.push_back(std::make_unique<NoveltyHunterProbe>());
+  return strategies;
+}
+
+}  // namespace ndv

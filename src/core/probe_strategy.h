@@ -1,0 +1,142 @@
+#ifndef NDV_CORE_PROBE_STRATEGY_H_
+#define NDV_CORE_PROBE_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "estimators/estimator.h"
+#include "table/column.h"
+
+namespace ndv {
+
+// Theorem 1 covers the *most general* class of estimators: those that pick
+// which rows to examine adaptively, each choice depending on the values
+// seen so far. This module makes that claim executable: a ProbeStrategy
+// chooses rows one at a time with full knowledge of previous observations,
+// and PlayProbeGame shows that no strategy escapes the two-scenario trap.
+
+class ProbeStrategy {
+ public:
+  virtual ~ProbeStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called once before each game round.
+  virtual void Reset() {}
+
+  // Picks the next row to probe. `probed_rows`/`probed_hashes` are the
+  // history (parallel arrays, in probe order); the returned row must be in
+  // [0, n) and not previously probed. May consult `rng`.
+  virtual int64_t NextRow(std::span<const int64_t> probed_rows,
+                          std::span<const uint64_t> probed_hashes, int64_t n,
+                          Rng& rng) = 0;
+};
+
+// Incremental membership index over the probe history: Sync() absorbs the
+// new suffix since the previous call, so per-probe upkeep is O(1) and the
+// whole game is O(r), not O(r^2).
+class ProbedSetTracker {
+ public:
+  void Sync(std::span<const int64_t> probed_rows) {
+    for (size_t i = synced_; i < probed_rows.size(); ++i) {
+      set_.insert(probed_rows[i]);
+    }
+    synced_ = probed_rows.size();
+  }
+  bool Contains(int64_t row) const { return set_.contains(row); }
+  void Clear() {
+    set_.clear();
+    synced_ = 0;
+  }
+
+ private:
+  std::unordered_set<int64_t> set_;
+  size_t synced_ = 0;
+};
+
+// Oblivious uniform probing (random sampling): the baseline Theorem 1
+// already covered before its generalization.
+class UniformProbe final : public ProbeStrategy {
+ public:
+  std::string_view name() const override { return "uniform"; }
+  void Reset() override { tracker_.Clear(); }
+  int64_t NextRow(std::span<const int64_t> probed_rows,
+                  std::span<const uint64_t> probed_hashes, int64_t n,
+                  Rng& rng) override;
+
+ private:
+  ProbedSetTracker tracker_;
+};
+
+// Systematic (strided) probing: deterministic evenly spaced rows with a
+// random phase — what a "smart" scan might try.
+class StridedProbe final : public ProbeStrategy {
+ public:
+  std::string_view name() const override { return "strided"; }
+  void Reset() override {
+    initialized_ = false;
+    tracker_.Clear();
+  }
+  int64_t NextRow(std::span<const int64_t> probed_rows,
+                  std::span<const uint64_t> probed_hashes, int64_t n,
+                  Rng& rng) override;
+
+ private:
+  bool initialized_ = false;
+  int64_t phase_ = 0;
+  int64_t stride_ = 1;
+  ProbedSetTracker tracker_;
+};
+
+// Adaptive novelty hunter: while probes keep returning an already-seen
+// value, jump to a uniformly random distant row; after discovering a NEW
+// value, probe that row's neighborhood (hoping novel values cluster).
+// Genuinely adaptive — its choices depend on observed values — and still
+// bound by Theorem 1.
+class NoveltyHunterProbe final : public ProbeStrategy {
+ public:
+  std::string_view name() const override { return "novelty-hunter"; }
+  void Reset() override {
+    tracker_.Clear();
+    seen_hashes_.clear();
+    hashes_synced_ = 0;
+  }
+  int64_t NextRow(std::span<const int64_t> probed_rows,
+                  std::span<const uint64_t> probed_hashes, int64_t n,
+                  Rng& rng) override;
+
+ private:
+  ProbedSetTracker tracker_;
+  std::unordered_set<uint64_t> seen_hashes_;
+  size_t hashes_synced_ = 0;
+};
+
+// One strategy's outcome in the Theorem 1 two-scenario game.
+struct ProbeGameResult {
+  std::string strategy;
+  int64_t k = 0;
+  double bound = 0.0;              // sqrt(k)
+  double mean_error_a = 0.0;
+  double mean_error_b = 0.0;
+  double fraction_at_least_bound = 0.0;
+};
+
+// Plays `trials` rounds: the strategy probes r rows of Scenario A (single
+// value) and of Scenario B (k planted singletons), the estimator runs on
+// each probe set, and errors are scored against D_A = 1 and D_B = k + 1.
+ProbeGameResult PlayProbeGame(ProbeStrategy& strategy,
+                              const Estimator& estimator, int64_t n,
+                              int64_t r, double gamma, int64_t trials,
+                              uint64_t seed);
+
+// All built-in strategies.
+std::vector<std::unique_ptr<ProbeStrategy>> MakeAllProbeStrategies();
+
+}  // namespace ndv
+
+#endif  // NDV_CORE_PROBE_STRATEGY_H_

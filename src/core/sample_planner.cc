@@ -1,0 +1,62 @@
+#include "core/sample_planner.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "table/column_sampling.h"
+
+namespace ndv {
+
+int64_t RequiredSampleSizeForGuarantee(int64_t n, double target_error) {
+  NDV_CHECK(n >= 1);
+  NDV_CHECK(target_error > 1.0);
+  const double r = M_E * M_E * static_cast<double>(n) /
+                   (target_error * target_error);
+  int64_t rows = static_cast<int64_t>(std::ceil(r));
+  if (rows < 1) rows = 1;
+  if (rows > n) rows = n;
+  return rows;
+}
+
+double IntervalErrorCertificate(const GeeBounds& bounds) {
+  NDV_CHECK(bounds.lower > 0.0);
+  NDV_CHECK(bounds.upper >= bounds.lower);
+  return std::sqrt(bounds.upper / bounds.lower);
+}
+
+ProgressiveResult ProgressiveEstimate(const Column& column,
+                                      const ProgressiveOptions& options) {
+  NDV_CHECK(options.target_error > 1.0);
+  NDV_CHECK(options.initial_rows >= 1);
+  NDV_CHECK(options.growth > 1.0);
+  const int64_t n = column.size();
+  NDV_CHECK(n >= 1);
+  const int64_t max_rows =
+      options.max_rows == 0 ? n : std::min(options.max_rows, n);
+
+  Rng rng(options.seed);
+  ProgressiveResult result;
+  int64_t r = std::min(options.initial_rows, max_rows);
+  while (true) {
+    ++result.rounds;
+    Rng round_rng = rng.Fork();
+    const SampleSummary summary =
+        SampleColumn(column, r, SamplingScheme::kWithoutReplacement,
+                     round_rng);
+    result.bounds = ComputeGeeBounds(summary);
+    result.sample_rows = r;
+    result.certificate = IntervalErrorCertificate(result.bounds);
+    if (result.certificate <= options.target_error) {
+      result.certified = true;
+      return result;
+    }
+    if (r >= max_rows) {
+      result.certified = r >= n;  // A full scan is exact.
+      return result;
+    }
+    const double grown = static_cast<double>(r) * options.growth;
+    r = std::min(max_rows, static_cast<int64_t>(std::ceil(grown)));
+  }
+}
+
+}  // namespace ndv

@@ -1,0 +1,56 @@
+#ifndef NDV_CORE_SAMPLE_PLANNER_H_
+#define NDV_CORE_SAMPLE_PLANNER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "core/gee.h"
+#include "table/column.h"
+
+namespace ndv {
+
+// Sample-size planning driven by the paper's guarantees.
+//
+// Theorem 2 turns "how accurate do you need to be?" into "how many rows
+// must you read?": to guarantee expected ratio error <= t you need
+// e*sqrt(n/r) <= t, i.e. r >= e^2 n / t^2. Conversely, GEE's [LOWER,
+// UPPER] interval gives a *data-dependent* stopping rule that usually
+// needs far fewer rows: sample progressively (doubling r) until the
+// interval certifies the requested accuracy.
+
+// Smallest r with e*sqrt(n/r) <= target_error (clamped to [1, n]): the
+// a-priori, distribution-independent sample size. Requires n >= 1 and
+// target_error > 1.
+int64_t RequiredSampleSizeForGuarantee(int64_t n, double target_error);
+
+// The ratio-error certificate the GEE interval supplies: if the true D
+// lies in [lower, upper], estimating sqrt(lower*upper) errs by at most
+// sqrt(upper/lower). Returns that factor (>= 1).
+double IntervalErrorCertificate(const GeeBounds& bounds);
+
+struct ProgressiveResult {
+  GeeBounds bounds;                // from the final sample
+  int64_t sample_rows = 0;         // r actually read
+  int64_t rounds = 0;              // number of samples drawn (doublings + 1)
+  bool certified = false;          // interval reached the target factor
+  double certificate = 0.0;        // final sqrt(upper/lower)
+};
+
+struct ProgressiveOptions {
+  double target_error = 2.0;       // certify error <= this factor
+  int64_t initial_rows = 256;      // first sample size
+  double growth = 2.0;             // geometric growth per round (> 1)
+  int64_t max_rows = 0;            // 0 = up to n
+  uint64_t seed = 1;
+};
+
+// Progressive sampling: draws fresh without-replacement samples of
+// geometrically growing size until the GEE interval certifies
+// target_error or max_rows is reached. On full scan (r == n) the result
+// is exact and always certified.
+ProgressiveResult ProgressiveEstimate(const Column& column,
+                                      const ProgressiveOptions& options);
+
+}  // namespace ndv
+
+#endif  // NDV_CORE_SAMPLE_PLANNER_H_

@@ -1,0 +1,80 @@
+#include "datagen/string_data.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "datagen/zipf.h"
+
+namespace ndv {
+namespace {
+
+constexpr char kConsonants[] = "bcdfgklmnprstvz";
+constexpr char kVowels[] = "aeiou";
+constexpr const char* kTlds[] = {"com", "org", "net", "io", "dev"};
+
+std::string MakeWord(Rng& rng, int syllables) {
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word += kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)];
+    word += kVowels[rng.NextBounded(sizeof(kVowels) - 1)];
+  }
+  return word;
+}
+
+}  // namespace
+
+std::string MakeString(StringShape shape, Rng& rng) {
+  switch (shape) {
+    case StringShape::kWords:
+      return MakeWord(rng, 2 + static_cast<int>(rng.NextBounded(3)));
+    case StringShape::kEmails:
+      return MakeWord(rng, 2 + static_cast<int>(rng.NextBounded(2))) +
+             std::to_string(rng.NextBounded(1000)) + "@" +
+             MakeWord(rng, 2) + "." + kTlds[rng.NextBounded(5)];
+    case StringShape::kUrls:
+      return "https://" + MakeWord(rng, 2) + "." + kTlds[rng.NextBounded(5)] +
+             "/" + MakeWord(rng, 2) + "/" + MakeWord(rng, 3);
+    case StringShape::kUuids: {
+      constexpr char kHex[] = "0123456789abcdef";
+      std::string uuid;
+      for (int i = 0; i < 32; ++i) {
+        if (i == 8 || i == 12 || i == 16 || i == 20) uuid += '-';
+        uuid += kHex[rng.NextBounded(16)];
+      }
+      return uuid;
+    }
+  }
+  return "";
+}
+
+std::unique_ptr<StringColumn> MakeStringColumn(
+    const StringColumnOptions& options) {
+  NDV_CHECK(options.rows >= 1);
+  NDV_CHECK(options.distinct >= 1);
+  NDV_CHECK(options.z >= 0.0);
+  Rng rng(options.seed);
+
+  // Build a dictionary of exactly `distinct` unique strings.
+  std::vector<std::string> dictionary;
+  dictionary.reserve(static_cast<size_t>(options.distinct));
+  std::unordered_set<std::string> seen;
+  seen.reserve(static_cast<size_t>(options.distinct));
+  while (static_cast<int64_t>(dictionary.size()) < options.distinct) {
+    std::string candidate = MakeString(options.shape, rng);
+    if (seen.insert(candidate).second) {
+      dictionary.push_back(std::move(candidate));
+    }
+  }
+
+  // Draw row codes Zipf(z) over the dictionary.
+  const ZipfianGenerator zipf(options.distinct, options.z);
+  std::vector<int32_t> codes;
+  codes.reserve(static_cast<size_t>(options.rows));
+  for (int64_t row = 0; row < options.rows; ++row) {
+    codes.push_back(static_cast<int32_t>(zipf.Sample(rng)));
+  }
+  return std::make_unique<StringColumn>(std::move(dictionary),
+                                        std::move(codes));
+}
+
+}  // namespace ndv

@@ -1,0 +1,45 @@
+#ifndef NDV_DATAGEN_STRING_DATA_H_
+#define NDV_DATAGEN_STRING_DATA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+
+namespace ndv {
+
+// String-valued workloads: estimator behavior depends only on equality
+// classes, but real ANALYZE runs mostly on VARCHAR columns, so the test
+// and example surface should too. Generators produce dictionary-encoded
+// StringColumns whose *frequency structure* follows the same Zipf /
+// uniform models as the integer generators.
+
+enum class StringShape {
+  kWords,    // pronounceable lowercase words ("taliko", "remsa")
+  kEmails,   // "word123@word.tld"
+  kUrls,     // "https://word.tld/word/word"
+  kUuids,    // hex UUID-ish tokens (high entropy, near-unique domains)
+};
+
+struct StringColumnOptions {
+  int64_t rows = 0;
+  int64_t distinct = 0;          // domain size (values drawn Zipf over it)
+  double z = 0.0;                // 0 = uniform draw over the domain
+  StringShape shape = StringShape::kWords;
+  uint64_t seed = 42;
+};
+
+// Generates the domain of `distinct` strings, then draws `rows` values
+// Zipf(z) over it (so the realized distinct count is <= `distinct`;
+// essentially equal to it when rows >> distinct).
+std::unique_ptr<StringColumn> MakeStringColumn(
+    const StringColumnOptions& options);
+
+// One synthetic string of the given shape (deterministic in rng state).
+std::string MakeString(StringShape shape, Rng& rng);
+
+}  // namespace ndv
+
+#endif  // NDV_DATAGEN_STRING_DATA_H_

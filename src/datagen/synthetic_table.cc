@@ -1,0 +1,114 @@
+#include "datagen/synthetic_table.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "datagen/zipf.h"
+
+namespace ndv {
+
+ColumnSpec ColumnSpec::Uniform(std::string name, int64_t cardinality) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kUniformInt;
+  spec.cardinality = cardinality;
+  return spec;
+}
+
+ColumnSpec ColumnSpec::Zipf(std::string name, int64_t cardinality, double z) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kZipfInt;
+  spec.cardinality = cardinality;
+  spec.z = z;
+  return spec;
+}
+
+ColumnSpec ColumnSpec::Unique(std::string name) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kSequentialUnique;
+  return spec;
+}
+
+ColumnSpec ColumnSpec::Normal(std::string name, double mean, double stddev) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kNormalBinned;
+  spec.mean = mean;
+  spec.stddev = stddev;
+  return spec;
+}
+
+ColumnSpec ColumnSpec::Constant(std::string name) {
+  ColumnSpec spec;
+  spec.name = std::move(name);
+  spec.kind = Kind::kConstant;
+  return spec;
+}
+
+namespace {
+
+std::vector<int64_t> GenerateValues(const ColumnSpec& spec, int64_t rows,
+                                    Rng& rng) {
+  std::vector<int64_t> values;
+  values.reserve(static_cast<size_t>(rows));
+  switch (spec.kind) {
+    case ColumnSpec::Kind::kUniformInt: {
+      NDV_CHECK(spec.cardinality >= 1);
+      for (int64_t i = 0; i < rows; ++i) {
+        values.push_back(static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(spec.cardinality))));
+      }
+      break;
+    }
+    case ColumnSpec::Kind::kZipfInt: {
+      NDV_CHECK(spec.cardinality >= 1);
+      ZipfianGenerator zipf(spec.cardinality, spec.z);
+      for (int64_t i = 0; i < rows; ++i) values.push_back(zipf.Sample(rng));
+      break;
+    }
+    case ColumnSpec::Kind::kSequentialUnique: {
+      for (int64_t i = 0; i < rows; ++i) values.push_back(i);
+      break;
+    }
+    case ColumnSpec::Kind::kNormalBinned: {
+      NDV_CHECK(spec.stddev > 0.0);
+      for (int64_t i = 0; i < rows; ++i) {
+        // Box-Muller; one draw per row keeps the stream simple and
+        // deterministic.
+        const double u1 = 1.0 - rng.NextDouble();
+        const double u2 = rng.NextDouble();
+        const double g =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+        values.push_back(
+            static_cast<int64_t>(std::llround(spec.mean + spec.stddev * g)));
+      }
+      break;
+    }
+    case ColumnSpec::Kind::kConstant: {
+      values.assign(static_cast<size_t>(rows), 0);
+      break;
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+Table MakeSyntheticTable(int64_t rows, const std::vector<ColumnSpec>& specs,
+                         uint64_t seed) {
+  NDV_CHECK(rows >= 1);
+  NDV_CHECK(!specs.empty());
+  Table table;
+  Rng root(seed);
+  for (const ColumnSpec& spec : specs) {
+    Rng column_rng = root.Fork();
+    table.AddColumn(spec.name, std::make_unique<Int64Column>(
+                                   GenerateValues(spec, rows, column_rng)));
+  }
+  return table;
+}
+
+}  // namespace ndv

@@ -1,0 +1,46 @@
+#ifndef NDV_DATAGEN_SYNTHETIC_TABLE_H_
+#define NDV_DATAGEN_SYNTHETIC_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace ndv {
+
+// Column-spec driven synthetic table generation. Distinct-value estimators
+// see only each column's frequency profile, so a simulated dataset needs to
+// match the *shape* of the real one: per-column cardinality and skew. These
+// specs describe that shape.
+
+struct ColumnSpec {
+  enum class Kind {
+    kUniformInt,       // uniform over {0, .., cardinality-1}
+    kZipfInt,          // Zipf(z) over {0, .., cardinality-1}
+    kSequentialUnique, // row id: every value distinct (key columns)
+    kNormalBinned,     // round(Normal(mean, stddev)): bell-shaped counts
+    kConstant,         // single value
+  };
+
+  std::string name;
+  Kind kind = Kind::kUniformInt;
+  int64_t cardinality = 1;  // domain size for kUniformInt / kZipfInt
+  double z = 1.0;           // skew for kZipfInt
+  double mean = 0.0;        // for kNormalBinned
+  double stddev = 1.0;      // for kNormalBinned
+
+  static ColumnSpec Uniform(std::string name, int64_t cardinality);
+  static ColumnSpec Zipf(std::string name, int64_t cardinality, double z);
+  static ColumnSpec Unique(std::string name);
+  static ColumnSpec Normal(std::string name, double mean, double stddev);
+  static ColumnSpec Constant(std::string name);
+};
+
+// Materializes `rows` rows for each spec. Deterministic in `seed`.
+Table MakeSyntheticTable(int64_t rows, const std::vector<ColumnSpec>& specs,
+                         uint64_t seed);
+
+}  // namespace ndv
+
+#endif  // NDV_DATAGEN_SYNTHETIC_TABLE_H_

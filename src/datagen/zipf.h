@@ -1,0 +1,82 @@
+#ifndef NDV_DATAGEN_ZIPF_H_
+#define NDV_DATAGEN_ZIPF_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "table/column.h"
+
+namespace ndv {
+
+// Generalized Zipfian data generation following the paper's recipe
+// (Section 6): class i of D receives frequency proportional to 1/i^Z, with
+// Z = 0 degenerating to "every value appears the same number of times".
+//
+// The paper's generator is deterministic in the frequencies (Z=0 with a
+// 10,000-row base yields exactly 10,000 distinct values — Table 1), so we
+// synthesize exact frequency vectors rather than drawing from a Zipf
+// distribution. The randomized draw generator is also provided for
+// workload-style uses.
+
+// Exact class frequencies for a column of `rows` values with skew `z`:
+//   z == 0: `rows` classes of frequency 1 (uniform, maximal D);
+//   z > 0 : n_i = max(1, round(c / i^z)) with the scale c calibrated by
+//           binary search so the frequencies sum to `rows` (the residual,
+//           positive or negative, is folded into the largest class).
+// Frequencies are returned in rank order (descending). Requires rows >= 1,
+// z >= 0.
+std::vector<int64_t> ZipfClassFrequencies(int64_t rows, double z);
+
+// Physical row order of a generated column. The paper always uses kRandom
+// ("the layout of data for each column was random"); the other layouts
+// exist for the block-sampling ablation, where clustering is the known
+// failure mode of page-level sampling.
+enum class RowLayout {
+  kRandom,     // uniformly shuffled rows
+  kSorted,     // all copies of a value adjacent, values in rank order
+  kClustered,  // sorted runs of `cluster_run` rows, run order shuffled
+};
+
+// Options for materializing a Zipfian column.
+struct ZipfColumnOptions {
+  int64_t rows = 0;          // total rows n (must be divisible by dup_factor)
+  double z = 0.0;            // skew parameter Z
+  int64_t dup_factor = 1;    // paper's "number of duplicates": the base
+                             // column of rows/dup_factor values is generated
+                             // first, then every value is copied dup_factor
+                             // times
+  RowLayout layout = RowLayout::kRandom;
+  int64_t cluster_run = 1024;  // run length for RowLayout::kClustered
+  uint64_t seed = 42;
+};
+
+// Materializes the paper's synthetic column: Zipf(z) base of
+// rows/dup_factor values, each duplicated dup_factor times, layout
+// shuffled. Values are dense integers 1..D.
+std::unique_ptr<Int64Column> MakeZipfColumn(const ZipfColumnOptions& options);
+
+// Number of distinct values MakeZipfColumn will produce for these options
+// (cheap; does not materialize the column).
+int64_t ZipfDistinctValues(const ZipfColumnOptions& options);
+
+// Randomized Zipf sampler over a fixed domain {0, .., domain-1}:
+// P(value = i) proportional to 1/(i+1)^z. Used by the simulated real-world
+// datasets. O(log domain) per draw via binary search on the CDF.
+class ZipfianGenerator {
+ public:
+  // Requires domain >= 1, z >= 0.
+  ZipfianGenerator(int64_t domain, double z);
+
+  int64_t Sample(Rng& rng) const;
+
+  int64_t domain() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_DATAGEN_ZIPF_H_

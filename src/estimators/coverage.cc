@@ -1,0 +1,97 @@
+#include "estimators/coverage.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "profile/skew_statistics.h"
+
+namespace ndv {
+
+double Chao::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double f2 = static_cast<double>(summary.f(2));
+  if (f2 > 0.0) return d + f1 * f1 / (2.0 * f2);
+  return d + f1 * (f1 - 1.0) / 2.0;
+}
+
+double Chao::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double ChaoLee::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double r = static_cast<double>(summary.r());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double coverage = 1.0 - f1 / r;
+  if (coverage <= 0.0) return INFINITY;  // Clamped to n by sanity bounds.
+  const double d0 = d / coverage;
+  const double gamma_sq = EstimatedSquaredCV(summary, std::fmax(d0, 1.0));
+  return d0 + r * (1.0 - coverage) / coverage * gamma_sq;
+}
+
+double ChaoLee::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double ChaoLee2::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double r = static_cast<double>(summary.r());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double coverage = 1.0 - f1 / r;
+  if (coverage <= 0.0) return INFINITY;  // Clamped to the upper bound.
+  const double d0 = d / coverage;
+  const double gamma1_sq = EstimatedSquaredCV(summary, std::fmax(d0, 1.0));
+  const double pairs = static_cast<double>(summary.freq.PairCount());
+  const double gamma2_sq = std::fmax(
+      gamma1_sq *
+          (1.0 + (1.0 - coverage) * pairs / ((r - 1.0) * coverage)),
+      0.0);
+  return d0 + r * (1.0 - coverage) / coverage * gamma2_sq;
+}
+
+double ChaoLee2::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double HorvitzThompson::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double q = summary.q();
+  if (q >= 1.0) return d;
+  double estimate = 0.0;
+  for (int64_t i = 1; i <= summary.freq.MaxFrequency(); ++i) {
+    const double fi = static_cast<double>(summary.f(i));
+    if (fi == 0.0) continue;
+    const double assumed_size = static_cast<double>(i) / q;
+    const double inclusion = 1.0 - PowOneMinus(q, assumed_size);
+    estimate += fi / inclusion;
+  }
+  return estimate;
+}
+
+double HorvitzThompson::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double Bootstrap::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double r = static_cast<double>(summary.r());
+  double unseen = 0.0;
+  for (int64_t i = 1; i <= summary.freq.MaxFrequency(); ++i) {
+    const double fi = static_cast<double>(summary.f(i));
+    if (fi == 0.0) continue;
+    unseen += fi * PowOneMinus(static_cast<double>(i) / r, r);
+  }
+  return d + unseen;
+}
+
+double Bootstrap::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+}  // namespace ndv

@@ -1,0 +1,73 @@
+#ifndef NDV_ESTIMATORS_COVERAGE_H_
+#define NDV_ESTIMATORS_COVERAGE_H_
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// Coverage-based estimators from the species-estimation literature
+// (surveyed by Bunge & Fitzpatrick, and referenced by the paper's related
+// work).
+
+// Chao's (1984) lower-bound estimator: D_hat = d + f1^2 / (2 f2). When
+// f2 == 0 the bias-corrected form d + f1(f1-1)/2 ... /(2(f2+1)) is used.
+class Chao final : public Estimator {
+ public:
+  std::string_view name() const override { return "Chao"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Chao & Lee (1992) sample-coverage estimator:
+//   C_hat = 1 - f1/r,  D_hat = d/C_hat + r (1 - C_hat)/C_hat * gamma^2,
+// with gamma^2 the squared CV of class sizes estimated at d/C_hat. When
+// every sampled value is a singleton (C_hat == 0) the estimate is clamped
+// to the sanity upper bound n.
+class ChaoLee final : public Estimator {
+ public:
+  std::string_view name() const override { return "ChaoLee"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Chao & Lee's second estimator ("CL2"): the CL1 form with a bias-adjusted
+// squared CV,
+//   gamma2^2 = max{ gamma1^2 * (1 + (1-C) * sum i(i-1) f_i / ((r-1) C)), 0 },
+// which inflates the correction when the unseen mass is large.
+// Reconstruction of the 1992 adjustment (see DESIGN.md §3).
+class ChaoLee2 final : public Estimator {
+ public:
+  std::string_view name() const override { return "ChaoLee2"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Horvitz-Thompson estimator with the scaled class-size model: a class
+// observed i times is assumed to occupy i/q table rows, so
+//   D_hat = sum_i f_i / (1 - (1-q)^{i/q}).
+// Unlike ModifiedShlosser this model is duplication-aware; it is close to d
+// whenever every observed class is abundant.
+class HorvitzThompson final : public Estimator {
+ public:
+  std::string_view name() const override { return "HT"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Smith & van Belle (1984) bootstrap estimator:
+//   D_hat = d + sum_i f_i (1 - i/r)^r.
+class Bootstrap final : public Estimator {
+ public:
+  std::string_view name() const override { return "Bootstrap"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+}  // namespace ndv
+
+#endif  // NDV_ESTIMATORS_COVERAGE_H_

@@ -1,0 +1,27 @@
+#include "estimators/estimator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ndv {
+
+double ApplySanityBounds(double raw_estimate, const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double n = static_cast<double>(summary.n());
+  const double upper =
+      summary.distinct_rows
+          ? std::fmin(n, d + static_cast<double>(summary.n() - summary.r()))
+          : n;
+  if (std::isnan(raw_estimate)) return upper;
+  if (raw_estimate > upper) return upper;
+  if (raw_estimate < d) return d;
+  return raw_estimate;
+}
+
+void CheckEstimatorInput(const SampleSummary& summary) {
+  summary.Validate();
+  NDV_CHECK_MSG(summary.r() >= 1, "estimators require a non-empty sample");
+}
+
+}  // namespace ndv

@@ -1,0 +1,46 @@
+#ifndef NDV_ESTIMATORS_ESTIMATOR_H_
+#define NDV_ESTIMATORS_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "profile/frequency_profile.h"
+
+namespace ndv {
+
+// Interface for distinct-value estimators. An estimator maps a sample's
+// sufficient statistics (the SampleSummary) to an estimate D_hat of the
+// number of distinct values in the full column.
+//
+// Every implementation must be deterministic (same summary -> same
+// estimate) and must return a value already clamped by the paper's sanity
+// bounds d <= D_hat <= n (use ApplySanityBounds).
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  // Stable identifier used in benchmark output, e.g. "GEE".
+  virtual std::string_view name() const = 0;
+
+  // The estimate. `summary` must satisfy SampleSummary::Validate() and have
+  // r >= 1 (an empty sample carries no information; callers must not ask).
+  virtual double Estimate(const SampleSummary& summary) const = 0;
+};
+
+// Clamps a raw estimate into the sanity interval [d, upper], where upper is
+// the paper's n tightened to d + (n - r) when the sample consists of
+// distinct table rows (summary.distinct_rows): each class missing from such
+// a sample occupies at least one unsampled row, so D <= d + (n - r). In
+// particular a full without-replacement scan pins the estimate to d.
+// Non-finite raw values (possible in degenerate corners of some baseline
+// formulas) clamp to the nearest bound: +inf/NaN -> upper, -inf -> d.
+double ApplySanityBounds(double raw_estimate, const SampleSummary& summary);
+
+// Convenience: validates the summary, requires r >= 1.
+void CheckEstimatorInput(const SampleSummary& summary);
+
+}  // namespace ndv
+
+#endif  // NDV_ESTIMATORS_ESTIMATOR_H_

@@ -1,0 +1,35 @@
+#include "estimators/goodman.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ndv {
+
+double Goodman::Raw(const SampleSummary& summary) {
+  const int64_t n = summary.n();
+  const int64_t r = summary.r();
+  const double d = static_cast<double>(summary.d());
+  if (r >= n) return d;  // Full scan.
+  double correction = 0.0;
+  for (int64_t i = 1; i <= summary.freq.MaxFrequency(); ++i) {
+    const int64_t fi = summary.f(i);
+    if (fi == 0) continue;
+    // log of (n-r+i-1)! / (n-r-1)!  ==  lgamma(n-r+i) - lgamma(n-r)
+    // log of (r-i)! / r!            ==  lgamma(r-i+1) - lgamma(r+1)
+    const double log_term = LogGamma(static_cast<double>(n - r + i)) -
+                            LogGamma(static_cast<double>(n - r)) +
+                            LogGamma(static_cast<double>(r - i + 1)) -
+                            LogGamma(static_cast<double>(r + 1));
+    const double term = std::exp(log_term) * static_cast<double>(fi);
+    correction += (i % 2 == 1) ? term : -term;
+  }
+  return d + correction;
+}
+
+double Goodman::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+}  // namespace ndv

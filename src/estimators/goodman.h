@@ -1,0 +1,28 @@
+#ifndef NDV_ESTIMATORS_GOODMAN_H_
+#define NDV_ESTIMATORS_GOODMAN_H_
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// Goodman's (1949) estimator — the unique unbiased estimator of D for
+// without-replacement sampling:
+//   D_hat = d + sum_{i=1}^{r} (-1)^{i+1} * [(n-r+i-1)! (r-i)!] /
+//                                          [(n-r-1)! r!] * f_i.
+// Unbiased but catastrophically high-variance for r << n: the alternating
+// terms grow factorially, so tiny fluctuations in f_i swing the estimate by
+// orders of magnitude. Included because it anchors the "unbiasedness is not
+// enough" discussion; evaluated in log space to survive at all.
+class Goodman final : public Estimator {
+ public:
+  std::string_view name() const override { return "Goodman"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  // Unclamped value; may be astronomically large in magnitude (returned as
+  // +/-inf once doubles overflow).
+  static double Raw(const SampleSummary& summary);
+};
+
+}  // namespace ndv
+
+#endif  // NDV_ESTIMATORS_GOODMAN_H_

@@ -1,0 +1,56 @@
+#include "estimators/hybrid.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "estimators/jackknife.h"
+#include "estimators/shlosser.h"
+
+namespace ndv {
+
+HybSkew::HybSkew(double significance) : significance_(significance) {
+  NDV_CHECK(significance > 0.0 && significance < 1.0);
+}
+
+bool HybSkew::WouldUseHighSkewBranch(const SampleSummary& summary) const {
+  return TestSkew(summary.freq, significance_).high_skew;
+}
+
+double HybSkew::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  const double raw = WouldUseHighSkewBranch(summary)
+                         ? Shlosser::Raw(summary)
+                         : SmoothedJackknife::Raw(summary);
+  return ApplySanityBounds(raw, summary);
+}
+
+HybVar::HybVar(double gamma_sq_cutoff) : gamma_sq_cutoff_(gamma_sq_cutoff) {
+  NDV_CHECK(gamma_sq_cutoff > 0.0);
+}
+
+int HybVar::SelectedBranch(const SampleSummary& summary) const {
+  const double d_uj1 = std::fmax(UnsmoothedJackknife1::Raw(summary), 1.0);
+  const double gamma_sq = EstimatedSquaredCV(summary, d_uj1);
+  if (gamma_sq == 0.0) return 0;
+  if (gamma_sq <= gamma_sq_cutoff_ && summary.f(1) > 0) return 1;
+  return 2;
+}
+
+double HybVar::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  double raw = 0.0;
+  switch (SelectedBranch(summary)) {
+    case 0:
+      raw = UnsmoothedJackknife1::Raw(summary);
+      break;
+    case 1:
+      raw = StabilizedJackknife::Raw(summary, /*cutoff=*/50);
+      break;
+    default:
+      raw = ModifiedShlosser::Raw(summary);
+      break;
+  }
+  return ApplySanityBounds(raw, summary);
+}
+
+}  // namespace ndv

@@ -1,0 +1,62 @@
+#ifndef NDV_ESTIMATORS_HYBRID_H_
+#define NDV_ESTIMATORS_HYBRID_H_
+
+#include "estimators/estimator.h"
+#include "profile/skew_statistics.h"
+
+namespace ndv {
+
+// The two hybrid baselines the paper compares against. Both pick one of
+// several underlying estimators based on a skew statistic computed from the
+// sample — the source of the instability (high variance near the decision
+// boundary) the paper criticizes.
+
+// HYBSKEW (Haas, Naughton, Seshadri & Stokes, VLDB'95): a chi-squared
+// uniformity test on the sampled class counts decides low vs. high skew;
+// low skew uses the smoothed jackknife, high skew uses Shlosser.
+class HybSkew final : public Estimator {
+ public:
+  // `significance` is the chi-squared test level (the VLDB'95 hybrid used a
+  // high quantile so only clear non-uniformity routes to Shlosser).
+  explicit HybSkew(double significance = 0.975);
+
+  std::string_view name() const override { return "HYBSKEW"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  // Which branch the skew test selects for this sample (exposed so HYBGEE
+  // and the experiments can report branch usage).
+  bool WouldUseHighSkewBranch(const SampleSummary& summary) const;
+
+ private:
+  double significance_;
+};
+
+// HYBVAR (Haas & Stokes, JASA'98 "D_hybrid"): selects among three
+// estimators based on the estimated squared coefficient of variation
+// gamma^2 of the class sizes:
+//   gamma^2 == 0                          -> first-order jackknife (uj1),
+//   0 < gamma^2 <= cutoff and f1 > 0      -> stabilized jackknife (DUJ2A),
+//   gamma^2 > cutoff, or no singletons    -> modified Shlosser.
+// Reconstruction of the JASA'98 selection shape (see DESIGN.md §3). The
+// default cutoff 25 makes the unbounded-domain scaleup (paper Fig. 10)
+// switch branches near n = 400K as published; the "no singletons with
+// skew" clause routes fully-duplicated data (paper Fig. 9) to the
+// duplication-blind modified Shlosser, reproducing its published
+// linear-in-n overestimation.
+class HybVar final : public Estimator {
+ public:
+  explicit HybVar(double gamma_sq_cutoff = 25.0);
+
+  std::string_view name() const override { return "HYBVAR"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  // The branch chosen for this sample: 0 = uj1, 1 = DUJ2A, 2 = MShlosser.
+  int SelectedBranch(const SampleSummary& summary) const;
+
+ private:
+  double gamma_sq_cutoff_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_ESTIMATORS_HYBRID_H_

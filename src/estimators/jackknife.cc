@@ -1,0 +1,158 @@
+#include "estimators/jackknife.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "profile/skew_statistics.h"
+
+namespace ndv {
+
+double UnsmoothedJackknife1::Raw(const SampleSummary& summary) {
+  const double r = static_cast<double>(summary.r());
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double q = summary.q();
+  // (1-q) * f1 / r <= 1 - q < 1, so the denominator is >= q > 0.
+  const double denom = 1.0 - (1.0 - q) * f1 / r;
+  return d / denom;
+}
+
+double UnsmoothedJackknife1::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double UnsmoothedJackknife2::Raw(const SampleSummary& summary) {
+  const double r = static_cast<double>(summary.r());
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double q = summary.q();
+  if (q >= 1.0) return d;  // Full scan: the sample is the table.
+  const double d_uj1 = UnsmoothedJackknife1::Raw(summary);
+  const double gamma_sq = EstimatedSquaredCV(summary, std::fmax(d_uj1, 1.0));
+  const double denom = 1.0 - (1.0 - q) * f1 / r;
+  // ln(1-q) < 0, so the correction term adds to d.
+  const double corrected =
+      d - f1 * (1.0 - q) * std::log1p(-q) * gamma_sq / q;
+  return corrected / denom;
+}
+
+double UnsmoothedJackknife2::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+StabilizedJackknife::StabilizedJackknife(int64_t cutoff) : cutoff_(cutoff) {
+  NDV_CHECK(cutoff >= 1);
+}
+
+double StabilizedJackknife::Raw(const SampleSummary& summary,
+                                int64_t cutoff) {
+  const double q = summary.q();
+  if (q >= 1.0) return static_cast<double>(summary.d());
+  int64_t removed_classes = 0;
+  FrequencyProfile reduced = summary.freq.Truncated(cutoff, &removed_classes);
+  if (removed_classes == 0 || reduced.TotalCount() == 0) {
+    return UnsmoothedJackknife2::Raw(summary);
+  }
+  // Rows of the sample belonging to removed (abundant) classes, and their
+  // scaled-up mass in the table.
+  const int64_t removed_rows = summary.r() - reduced.TotalCount();
+  const double removed_mass = static_cast<double>(removed_rows) / q;
+  SampleSummary reduced_summary;
+  reduced_summary.sample_rows = reduced.TotalCount();
+  reduced_summary.table_rows = std::max<int64_t>(
+      reduced.TotalCount(),
+      summary.n() - static_cast<int64_t>(std::llround(removed_mass)));
+  reduced_summary.freq = std::move(reduced);
+  reduced_summary.Validate();
+  return UnsmoothedJackknife2::Raw(reduced_summary) +
+         static_cast<double>(removed_classes);
+}
+
+double StabilizedJackknife::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary, cutoff_), summary);
+}
+
+StabilizedJackknife1::StabilizedJackknife1(int64_t cutoff)
+    : cutoff_(cutoff) {
+  NDV_CHECK(cutoff >= 1);
+}
+
+double StabilizedJackknife1::Raw(const SampleSummary& summary,
+                                 int64_t cutoff) {
+  const double q = summary.q();
+  if (q >= 1.0) return static_cast<double>(summary.d());
+  int64_t removed_classes = 0;
+  FrequencyProfile reduced = summary.freq.Truncated(cutoff, &removed_classes);
+  if (removed_classes == 0 || reduced.TotalCount() == 0) {
+    return UnsmoothedJackknife1::Raw(summary);
+  }
+  const int64_t removed_rows = summary.r() - reduced.TotalCount();
+  const double removed_mass = static_cast<double>(removed_rows) / q;
+  SampleSummary reduced_summary;
+  reduced_summary.sample_rows = reduced.TotalCount();
+  reduced_summary.table_rows = std::max<int64_t>(
+      reduced.TotalCount(),
+      summary.n() - static_cast<int64_t>(std::llround(removed_mass)));
+  reduced_summary.freq = std::move(reduced);
+  reduced_summary.Validate();
+  return UnsmoothedJackknife1::Raw(reduced_summary) +
+         static_cast<double>(removed_classes);
+}
+
+double StabilizedJackknife1::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary, cutoff_), summary);
+}
+
+double SmoothedJackknife::Raw(const SampleSummary& summary) {
+  const double r = static_cast<double>(summary.r());
+  const double d = static_cast<double>(summary.d());
+  const double q = summary.q();
+  if (q >= 1.0 || d <= 1.0) return d;
+  // Fixed-point iteration from the uj1 starting point. The map
+  //   g(D) = d / (1 - (1-q)(1 - 1/D)^{r-1})
+  // is bounded between d and d/q, so the iteration cannot escape.
+  double estimate = std::fmax(UnsmoothedJackknife1::Raw(summary), d);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double smoothed_f1_over_r =
+        std::exp((r - 1.0) * std::log1p(-1.0 / estimate));
+    const double next = d / (1.0 - (1.0 - q) * smoothed_f1_over_r);
+    if (std::fabs(next - estimate) <= 1e-9 * std::fmax(1.0, estimate)) {
+      return next;
+    }
+    // Light damping guards against oscillation near steep fixed points.
+    estimate = 0.5 * (estimate + next);
+  }
+  return estimate;
+}
+
+double SmoothedJackknife::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double BurnhamOvertonJackknife::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  const double r = static_cast<double>(summary.r());
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  return ApplySanityBounds(d + f1 * (r - 1.0) / r, summary);
+}
+
+double BurnhamOverton2Jackknife::Estimate(
+    const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  const double r = static_cast<double>(summary.r());
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double f2 = static_cast<double>(summary.f(2));
+  if (summary.r() < 2) return ApplySanityBounds(d, summary);
+  const double raw = d + f1 * (2.0 * r - 3.0) / r -
+                     f2 * (r - 2.0) * (r - 2.0) / (r * (r - 1.0));
+  return ApplySanityBounds(raw, summary);
+}
+
+}  // namespace ndv

@@ -1,0 +1,110 @@
+#ifndef NDV_ESTIMATORS_JACKKNIFE_H_
+#define NDV_ESTIMATORS_JACKKNIFE_H_
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// The (generalized) jackknife family of Haas, Naughton, Seshadri & Stokes
+// (VLDB'95) and Haas & Stokes (JASA'98). All are of the paper's
+// "D_hat = d + K * f1" shape for various choices of K. Throughout, q = r/n.
+
+// Unsmoothed first-order jackknife:
+//     D_uj1 = d / (1 - (1 - q) * f1 / r).
+// This is the estimator PostgreSQL's ANALYZE uses. Exact to the published
+// formula.
+class UnsmoothedJackknife1 final : public Estimator {
+ public:
+  std::string_view name() const override { return "UJ1"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  // The raw (unclamped) value; shared with the second-order estimator.
+  static double Raw(const SampleSummary& summary);
+};
+
+// Unsmoothed second-order jackknife:
+//     D_uj2 = (1 - (1-q) f1 / r)^{-1} * (d - f1 (1-q) ln(1-q) gamma^2 / q),
+// where gamma^2 is the estimated squared coefficient of variation of the
+// class sizes evaluated at D_uj1. Exact to the published formula.
+class UnsmoothedJackknife2 final : public Estimator {
+ public:
+  std::string_view name() const override { return "UJ2"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Stabilized second-order jackknife ("DUJ2A", recommended by Haas & Stokes):
+// classes appearing more than `cutoff` times in the sample are treated as
+// surely-seen and removed — uj2 runs on the reduced sample against the
+// reduced population (n minus the scaled-up mass of the removed classes) —
+// then the removed classes are added back. Reconstruction of the JASA'98
+// construction; cutoff defaults to 50 as a moderate stabilization point.
+class StabilizedJackknife final : public Estimator {
+ public:
+  explicit StabilizedJackknife(int64_t cutoff = 50);
+
+  std::string_view name() const override { return "DUJ2A"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary, int64_t cutoff);
+
+ private:
+  int64_t cutoff_;
+};
+
+// Stabilized FIRST-order jackknife ("UJ1A"): the same
+// remove-abundant-classes construction applied to uj1 (Haas & Stokes
+// define the -a stabilization for both orders). Cheaper than DUJ2A and
+// immune to the CV plug-in, at the cost of uj2's bias correction.
+class StabilizedJackknife1 final : public Estimator {
+ public:
+  explicit StabilizedJackknife1(int64_t cutoff = 50);
+
+  std::string_view name() const override { return "UJ1A"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary, int64_t cutoff);
+
+ private:
+  int64_t cutoff_;
+};
+
+// Smoothed first-order jackknife (VLDB'95): replaces the observed f1 in the
+// uj1 formula with its expectation under the equal-class-size model at the
+// current estimate and iterates to a fixed point:
+//     D_{k+1} = d / (1 - (1-q) * (1 - 1/D_k)^{r-1}).
+// Reconstruction of the VLDB'95 smoothing idea (see DESIGN.md §3); highly
+// accurate on low-skew data, degrades on high skew — the property the
+// hybrid estimators exploit.
+class SmoothedJackknife final : public Estimator {
+ public:
+  std::string_view name() const override { return "SJ"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Classic Burnham-Overton first-order species jackknife,
+//     D_hat = d + f1 * (r - 1) / r,
+// included for canon completeness; it ignores n and therefore cannot scale
+// to small sampling fractions (the statistics-literature failure the
+// database papers report).
+class BurnhamOvertonJackknife final : public Estimator {
+ public:
+  std::string_view name() const override { return "JK-BO1"; }
+  double Estimate(const SampleSummary& summary) const override;
+};
+
+// Second-order Burnham-Overton species jackknife,
+//   D_hat = d + f1 (2r - 3)/r - f2 (r - 2)^2 / (r (r - 1)),
+// the classic bias-reduced refinement; like the first order it ignores n.
+class BurnhamOverton2Jackknife final : public Estimator {
+ public:
+  std::string_view name() const override { return "JK-BO2"; }
+  double Estimate(const SampleSummary& summary) const override;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_ESTIMATORS_JACKKNIFE_H_

@@ -1,0 +1,70 @@
+#include "estimators/method_of_moments.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/solver.h"
+
+namespace ndv {
+
+double MethodOfMoments::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double r = static_cast<double>(summary.r());
+  const double n = static_cast<double>(summary.n());
+  if (d >= r) return INFINITY;  // No finite solution; clamps to n.
+  if (d <= 1.0) return d;
+  // g(D) = D (1 - (1 - 1/D)^r) - d is increasing in D, negative at D = d
+  // (strictly, since a finite population forces repeats), positive for
+  // large D (limit r - d > 0).
+  const auto g = [r, d](double cap) {
+    return cap * (1.0 - PowOneMinus(1.0 / cap, r)) - d;
+  };
+  const auto bracket = ExpandBracketUp(g, d, std::fmax(2.0 * d, n));
+  if (!bracket.has_value()) return INFINITY;
+  const auto root = Brent(g, bracket->first, bracket->second);
+  if (!root.has_value() || !root->converged) return INFINITY;
+  return root->x;
+}
+
+double MethodOfMoments::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double FiniteMethodOfMoments::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double r = static_cast<double>(summary.r());
+  const double n = static_cast<double>(summary.n());
+  if (d <= 1.0) return d;
+  if (summary.r() >= summary.n()) return d;
+  // g(D) = D (1 - P_miss(n/D)) - d, increasing in D. At D = d the equal
+  // classes have size n/d >= r... not necessarily; g(d) <= 0 holds because
+  // a sample of r rows from d equal classes sees at most d distinct values
+  // in expectation with equality only when every class is hit.
+  const auto g = [n, r, d](double cap) {
+    const double miss = HypergeometricMissProbabilityReal(n, n / cap, r);
+    return cap * (1.0 - miss) - d;
+  };
+  if (g(d) > 0.0) return d;  // Every class already seen.
+  // E[d] -> r as D -> n (all classes singletons), so a root exists iff
+  // d < r; otherwise saturate.
+  if (d >= r) return INFINITY;
+  const auto bracket = ExpandBracketUp(g, d, std::fmax(2.0 * d, 16.0));
+  if (!bracket.has_value()) return INFINITY;
+  const auto root = Brent(g, bracket->first, bracket->second);
+  if (!root.has_value() || !root->converged) return INFINITY;
+  return root->x;
+}
+
+double FiniteMethodOfMoments::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double NaiveScaleUp::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  const double d = static_cast<double>(summary.d());
+  return ApplySanityBounds(d / summary.q(), summary);
+}
+
+}  // namespace ndv

@@ -1,0 +1,48 @@
+#ifndef NDV_ESTIMATORS_METHOD_OF_MOMENTS_H_
+#define NDV_ESTIMATORS_METHOD_OF_MOMENTS_H_
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// First-moment ("method of moments") estimator under the equal-class-size
+// model: if all D classes were equally likely, a with-replacement sample of
+// size r would see E[d] = D (1 - (1 - 1/D)^r) distinct values. The estimate
+// solves
+//   d = D_hat * (1 - (1 - 1/D_hat)^r)
+// for D_hat by bracketed root finding. Since E[d] -> r as D -> inf, no
+// finite solution exists when d == r (every sampled value distinct); the
+// estimate is then the sanity upper bound n.
+class MethodOfMoments final : public Estimator {
+ public:
+  std::string_view name() const override { return "MM"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Finite-population first-moment estimator: like MethodOfMoments but with
+// the exact without-replacement (hypergeometric) miss probability for
+// equal class sizes n/D:
+//   d = D_hat * (1 - C(n - n/D_hat, r) / C(n, r)),
+// evaluated with continuous class sizes via log-gamma. More faithful than
+// the with-replacement form at large sampling fractions.
+class FiniteMethodOfMoments final : public Estimator {
+ public:
+  std::string_view name() const override { return "MM-finite"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Naive scale-up D_hat = d / q = d * n / r: correct only when (almost)
+// every class is a singleton; the folklore strawman.
+class NaiveScaleUp final : public Estimator {
+ public:
+  std::string_view name() const override { return "Naive"; }
+  double Estimate(const SampleSummary& summary) const override;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_ESTIMATORS_METHOD_OF_MOMENTS_H_

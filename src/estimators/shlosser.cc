@@ -1,0 +1,53 @@
+#include "estimators/shlosser.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace ndv {
+
+double Shlosser::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  const double q = summary.q();
+  if (q >= 1.0 || f1 == 0.0) return d;
+  double numer = 0.0;
+  double denom = 0.0;
+  for (int64_t i = 1; i <= summary.freq.MaxFrequency(); ++i) {
+    const double fi = static_cast<double>(summary.f(i));
+    if (fi == 0.0) continue;
+    const double ii = static_cast<double>(i);
+    numer += PowOneMinus(q, ii) * fi;
+    denom += ii * q * PowOneMinus(q, ii - 1.0) * fi;
+  }
+  if (denom <= 0.0) return d;
+  return d + f1 * numer / denom;
+}
+
+double Shlosser::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+double ModifiedShlosser::Raw(const SampleSummary& summary) {
+  const double d = static_cast<double>(summary.d());
+  const double q = summary.q();
+  if (q >= 1.0) return d;
+  double estimate = 0.0;
+  for (int64_t i = 1; i <= summary.freq.MaxFrequency(); ++i) {
+    const double fi = static_cast<double>(summary.f(i));
+    if (fi == 0.0) continue;
+    // Inclusion probability of a class assumed to occupy i rows of the
+    // table: 1 - (1-q)^i.
+    const double inclusion = 1.0 - PowOneMinus(q, static_cast<double>(i));
+    estimate += fi / inclusion;
+  }
+  return estimate;
+}
+
+double ModifiedShlosser::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  return ApplySanityBounds(Raw(summary), summary);
+}
+
+}  // namespace ndv

@@ -1,0 +1,41 @@
+#ifndef NDV_ESTIMATORS_SHLOSSER_H_
+#define NDV_ESTIMATORS_SHLOSSER_H_
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// Shlosser's estimator (Engineering Cybernetics, 1981) and the
+// JASA'98-style modified variant used inside HYBVAR.
+
+// Shlosser's estimator, exact to the published formula (q = r/n):
+//   D_hat = d + f1 * [sum_i (1-q)^i f_i] / [sum_i i q (1-q)^{i-1} f_i].
+// Derived under Bernoulli(q) sampling of high-skew data; strong on high
+// skew, a severe over/under-estimator elsewhere.
+class Shlosser final : public Estimator {
+ public:
+  std::string_view name() const override { return "Shlosser"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+// Modified Shlosser estimator (reconstruction of Haas & Stokes' Sh3; see
+// DESIGN.md §3): a Horvitz-Thompson expansion that takes each observed
+// class's *sample* frequency as its table frequency,
+//   D_hat = sum_i f_i / (1 - (1-q)^i).
+// The class-size model is blind to duplication: when every value is
+// duplicated `c` times the expansion overestimates by a factor
+// proportional to c — exactly the failure mode the paper reports for
+// HYBVAR in the scale-up experiments (Figs. 9-10).
+class ModifiedShlosser final : public Estimator {
+ public:
+  std::string_view name() const override { return "MShlosser"; }
+  double Estimate(const SampleSummary& summary) const override;
+
+  static double Raw(const SampleSummary& summary);
+};
+
+}  // namespace ndv
+
+#endif  // NDV_ESTIMATORS_SHLOSSER_H_

@@ -1,0 +1,97 @@
+#include "estimators/sichel.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/solver.h"
+
+namespace ndv {
+namespace {
+
+// Solves (1 - exp(-a*mu))/mu = target for mu > 0, where a = 2/(t+1). The
+// left side decreases from a (at mu -> 0) to 0, so a solution exists iff
+// 0 < target < a.
+std::optional<double> SolveInnerMu(double a, double target) {
+  if (!(target > 0.0) || target >= a) return std::nullopt;
+  const auto h = [a, target](double mu) {
+    return (1.0 - std::exp(-a * mu)) / mu - target;
+  };
+  // h(lo) > 0 for small lo; expand hi until h(hi) < 0.
+  const double lo = 1e-12;
+  const auto bracket = ExpandBracketUp(h, lo, 1.0, 2.0, 200);
+  if (!bracket.has_value()) return std::nullopt;
+  const auto root = Brent(h, bracket->first, bracket->second);
+  if (!root.has_value() || !root->converged) return std::nullopt;
+  return root->x;
+}
+
+}  // namespace
+
+std::optional<PoissonInverseGaussianFit> FitPoissonInverseGaussian(
+    const SampleSummary& summary) {
+  const double r = static_cast<double>(summary.r());
+  const double d = static_cast<double>(summary.d());
+  const double f1 = static_cast<double>(summary.f(1));
+  if (d <= 0.0 || f1 <= 0.0) return std::nullopt;
+  if (d >= r) return std::nullopt;  // All singletons: no finite fit.
+
+  // Admissible t: the inner equation needs d/r < 2/(t+1).
+  const double t_max = 2.0 * r / d - 1.0;
+  if (t_max <= 1.0) return std::nullopt;
+
+  const auto residual = [&](double t) -> double {
+    const double a = 2.0 / (t + 1.0);
+    const auto mu = SolveInnerMu(a, d / r);
+    if (!mu.has_value()) return 1.0;  // Treat as positive residual.
+    const double p0 = std::exp(-a * *mu);
+    return p0 / t - f1 / r;
+  };
+
+  // Scan for a sign change over log-spaced t in (1, t_max).
+  constexpr int kScanPoints = 64;
+  double prev_t = 1.0 + 1e-9;
+  double prev_res = residual(prev_t);
+  std::optional<std::pair<double, double>> bracket;
+  for (int i = 1; i <= kScanPoints; ++i) {
+    const double frac = static_cast<double>(i) / kScanPoints;
+    const double t = 1.0 + (t_max - 1.0 - 2e-9) *
+                               (std::exp2(10.0 * frac) - 1.0) /
+                               (std::exp2(10.0) - 1.0);
+    const double res = residual(t);
+    if ((prev_res <= 0.0 && res >= 0.0) || (prev_res >= 0.0 && res <= 0.0)) {
+      bracket = {prev_t, t};
+      break;
+    }
+    prev_t = t;
+    prev_res = res;
+  }
+  if (!bracket.has_value()) return std::nullopt;
+  const auto root = Brent(residual, bracket->first, bracket->second);
+  if (!root.has_value() || !root->converged) return std::nullopt;
+
+  PoissonInverseGaussianFit fit;
+  fit.t = root->x;
+  const double a = 2.0 / (fit.t + 1.0);
+  const auto mu = SolveInnerMu(a, d / r);
+  if (!mu.has_value() || *mu <= 0.0) return std::nullopt;
+  fit.mu = *mu;
+  fit.p0 = std::exp(-a * fit.mu);
+  fit.d_hat = r / fit.mu;
+  return fit;
+}
+
+double Sichel::Estimate(const SampleSummary& summary) const {
+  CheckEstimatorInput(summary);
+  const auto fit = FitPoissonInverseGaussian(summary);
+  if (!fit.has_value()) {
+    // Degenerate moments: fall back to the sample count (f1 == 0) or
+    // saturate (all singletons).
+    if (summary.f(1) == 0) {
+      return ApplySanityBounds(static_cast<double>(summary.d()), summary);
+    }
+    return ApplySanityBounds(INFINITY, summary);
+  }
+  return ApplySanityBounds(fit->d_hat, summary);
+}
+
+}  // namespace ndv

@@ -1,0 +1,48 @@
+#ifndef NDV_ESTIMATORS_SICHEL_H_
+#define NDV_ESTIMATORS_SICHEL_H_
+
+#include <optional>
+
+#include "estimators/estimator.h"
+
+namespace ndv {
+
+// Sichel's parametric estimator (Information Processing & Management,
+// 1992; the paper's reference [28]): class abundances in the sample are
+// modeled as a Poisson mixture whose rate follows an inverse Gaussian
+// distribution (the gamma = -1/2 member of Sichel's generalized family).
+//
+// With mixing IG(mean mu, shape lambda), the per-class count pgf is
+//   G(s) = exp( (lambda/mu) (1 - sqrt(1 + 2 mu^2 (1-s)/lambda)) ).
+// Substituting t = sqrt(1 + 2 mu^2 / lambda) >= 1 gives the clean forms
+//   P(0) = exp(-2 mu / (t + 1)),      P(1) = mu P(0) / t.
+// The population parameters (D, mu, t) are fitted by moment matching:
+//   r  = D mu                (total sample size)
+//   d  = D (1 - P0)          (observed classes)
+//   f1 = D P1                (observed singletons)
+// and the estimate is D_hat = r / mu. The inner equation (in mu, for fixed
+// t) and the outer equation (in t) are both monotone, so the fit is two
+// nested bracketed root searches.
+
+struct PoissonInverseGaussianFit {
+  double mu = 0.0;       // mean per-class sample count
+  double t = 1.0;        // sqrt(1 + 2 mu^2 / lambda)
+  double p0 = 0.0;       // probability a class is unseen
+  double d_hat = 0.0;    // fitted number of classes r / mu
+};
+
+// Fits the model to a sample's (r, d, f1). Returns std::nullopt when the
+// moments are degenerate (d == r with no repeats, f1 == 0, or no solution
+// in the admissible region).
+std::optional<PoissonInverseGaussianFit> FitPoissonInverseGaussian(
+    const SampleSummary& summary);
+
+class Sichel final : public Estimator {
+ public:
+  std::string_view name() const override { return "Sichel"; }
+  double Estimate(const SampleSummary& summary) const override;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_ESTIMATORS_SICHEL_H_

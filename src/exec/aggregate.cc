@@ -1,0 +1,72 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ndv {
+
+AggregateStats HashAggregateCount(const Column& column,
+                                  std::vector<GroupCount>* result) {
+  std::unordered_map<uint64_t, int64_t> groups;
+  const int64_t n = column.size();
+  for (int64_t row = 0; row < n; ++row) {
+    ++groups[column.HashAt(row)];
+  }
+  AggregateStats stats;
+  stats.rows = n;
+  stats.groups = static_cast<int64_t>(groups.size());
+  stats.peak_group_table_entries = stats.groups;
+  if (result != nullptr) {
+    result->clear();
+    result->reserve(groups.size());
+    for (const auto& [group, rows] : groups) {
+      result->push_back({group, rows});
+    }
+  }
+  return stats;
+}
+
+AggregateStats SortAggregateCount(const Column& column,
+                                  std::vector<GroupCount>* result) {
+  const int64_t n = column.size();
+  std::vector<uint64_t> hashes;
+  hashes.reserve(static_cast<size_t>(n));
+  for (int64_t row = 0; row < n; ++row) {
+    hashes.push_back(column.HashAt(row));
+  }
+  std::sort(hashes.begin(), hashes.end());
+
+  AggregateStats stats;
+  stats.rows = n;
+  stats.peak_group_table_entries = 0;
+  if (result != nullptr) result->clear();
+  size_t run_start = 0;
+  for (size_t i = 0; i <= hashes.size(); ++i) {
+    if (i == hashes.size() || hashes[i] != hashes[run_start]) {
+      if (i > run_start) {
+        ++stats.groups;
+        if (result != nullptr) {
+          result->push_back({hashes[run_start],
+                             static_cast<int64_t>(i - run_start)});
+        }
+      }
+      run_start = i;
+    }
+  }
+  return stats;
+}
+
+bool SameGroupCounts(std::vector<GroupCount> a, std::vector<GroupCount> b) {
+  const auto by_group = [](const GroupCount& x, const GroupCount& y) {
+    return x.group < y.group;
+  };
+  std::sort(a.begin(), a.end(), by_group);
+  std::sort(b.begin(), b.end(), by_group);
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].group != b[i].group || a[i].rows != b[i].rows) return false;
+  }
+  return true;
+}
+
+}  // namespace ndv

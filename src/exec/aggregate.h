@@ -1,0 +1,46 @@
+#ifndef NDV_EXEC_AGGREGATE_H_
+#define NDV_EXEC_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/column.h"
+
+namespace ndv {
+
+// A miniature GROUP BY executor: the operator whose plan choice the
+// paper's motivation hinges on. Hash aggregation is fast while the group
+// table fits in memory; sort aggregation costs O(n log n) but its memory
+// is independent of the number of groups. The planner (planner.h) picks
+// between them using a distinct-value estimate — making NDV estimation
+// errors directly observable as execution-time regret.
+
+struct GroupCount {
+  uint64_t group = 0;  // value hash of the group key
+  int64_t rows = 0;
+};
+
+struct AggregateStats {
+  int64_t groups = 0;
+  int64_t rows = 0;
+  int64_t peak_group_table_entries = 0;  // memory proxy
+};
+
+// COUNT(*) GROUP BY column via a hash table. `result` (optional) receives
+// the per-group counts in unspecified order.
+AggregateStats HashAggregateCount(const Column& column,
+                                  std::vector<GroupCount>* result = nullptr);
+
+// COUNT(*) GROUP BY column via sort + run-length scan. `result` (optional)
+// receives the counts ordered by group hash. Peak group-table memory is
+// reported as 0 (the sort works on a flat array).
+AggregateStats SortAggregateCount(const Column& column,
+                                  std::vector<GroupCount>* result = nullptr);
+
+// True when the two executors produce identical group/count multisets
+// (test helper).
+bool SameGroupCounts(std::vector<GroupCount> a, std::vector<GroupCount> b);
+
+}  // namespace ndv
+
+#endif  // NDV_EXEC_AGGREGATE_H_

@@ -1,0 +1,78 @@
+#include "exec/planner.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ndv {
+namespace {
+
+// Relative per-row costs; calibrated to the shape (not the absolute speed)
+// of the two executors: hashing a row is cheap, sorting pays a log factor.
+// A hash plan whose group table blows the budget is aborted and restarted
+// as a sort — paying the wasted hash pass on top of the full sort.
+constexpr double kHashCostPerRow = 1.0;
+constexpr double kSortCostPerRowLog = 0.25;
+
+double SortCost(int64_t rows) {
+  const double log_rows =
+      std::log2(std::fmax(2.0, static_cast<double>(rows)));
+  return static_cast<double>(rows) * log_rows * kSortCostPerRowLog;
+}
+
+}  // namespace
+
+std::string_view AggStrategyName(AggStrategy strategy) {
+  return strategy == AggStrategy::kHash ? "hash-agg" : "sort-agg";
+}
+
+AggStrategy ChooseAggStrategy(double estimated_groups,
+                              int64_t memory_budget_groups) {
+  NDV_CHECK(memory_budget_groups >= 1);
+  return estimated_groups <= static_cast<double>(memory_budget_groups)
+             ? AggStrategy::kHash
+             : AggStrategy::kSort;
+}
+
+double AggregateCost(AggStrategy strategy, int64_t rows, int64_t true_groups,
+                     int64_t memory_budget_groups) {
+  NDV_CHECK(rows >= 1);
+  NDV_CHECK(true_groups >= 1);
+  NDV_CHECK(memory_budget_groups >= 1);
+  if (strategy == AggStrategy::kHash) {
+    const double hash_pass = static_cast<double>(rows) * kHashCostPerRow;
+    if (true_groups <= memory_budget_groups) return hash_pass;
+    // Budget blown: the wasted hash pass plus the fallback sort.
+    return hash_pass + SortCost(rows);
+  }
+  return SortCost(rows);
+}
+
+AggStrategy OracleAggStrategy(int64_t rows, int64_t true_groups,
+                              int64_t memory_budget_groups) {
+  const double hash = AggregateCost(AggStrategy::kHash, rows, true_groups,
+                                    memory_budget_groups);
+  const double sort = AggregateCost(AggStrategy::kSort, rows, true_groups,
+                                    memory_budget_groups);
+  return hash <= sort ? AggStrategy::kHash : AggStrategy::kSort;
+}
+
+PlanOutcome EvaluatePlanChoice(const Estimator& estimator,
+                               const SampleSummary& summary,
+                               int64_t true_groups,
+                               int64_t memory_budget_groups) {
+  PlanOutcome outcome;
+  outcome.estimated_groups = estimator.Estimate(summary);
+  outcome.chosen =
+      ChooseAggStrategy(outcome.estimated_groups, memory_budget_groups);
+  outcome.oracle = OracleAggStrategy(summary.n(), true_groups,
+                                     memory_budget_groups);
+  outcome.chosen_cost = AggregateCost(outcome.chosen, summary.n(),
+                                      true_groups, memory_budget_groups);
+  outcome.oracle_cost = AggregateCost(outcome.oracle, summary.n(),
+                                      true_groups, memory_budget_groups);
+  outcome.regret = outcome.chosen_cost / outcome.oracle_cost;
+  return outcome;
+}
+
+}  // namespace ndv

@@ -1,0 +1,62 @@
+#ifndef NDV_EXEC_PLANNER_H_
+#define NDV_EXEC_PLANNER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "estimators/estimator.h"
+#include "exec/aggregate.h"
+
+namespace ndv {
+
+// The NDV-consuming plan decision the paper's introduction motivates:
+// given an estimate of GROUP BY cardinality and a memory budget, choose
+// hash aggregation (fast, memory ~ groups) or sort aggregation (slower,
+// memory-flat). An overestimated D wastes time on an unnecessary sort; an
+// underestimate blows the memory budget (modeled here as a spill penalty).
+
+enum class AggStrategy {
+  kHash,
+  kSort,
+};
+
+std::string_view AggStrategyName(AggStrategy strategy);
+
+// Hash when the estimated group table fits the budget.
+AggStrategy ChooseAggStrategy(double estimated_groups,
+                              int64_t memory_budget_groups);
+
+// Cost model (unit: row-operations) mirroring the executors' asymptotics:
+//   hash: rows * kHashCostPerRow, plus a spill penalty factor when the
+//         true group count exceeds the budget (the table no longer fits);
+//   sort: rows * log2(rows) * kSortCostPerRowLog.
+// Deliberately simple — just enough structure for estimation errors to
+// translate into regret.
+double AggregateCost(AggStrategy strategy, int64_t rows, int64_t true_groups,
+                     int64_t memory_budget_groups);
+
+// The decision an oracle (true D known) would make: whichever strategy has
+// the lower modeled cost.
+AggStrategy OracleAggStrategy(int64_t rows, int64_t true_groups,
+                              int64_t memory_budget_groups);
+
+struct PlanOutcome {
+  AggStrategy chosen = AggStrategy::kHash;
+  AggStrategy oracle = AggStrategy::kHash;
+  double estimated_groups = 0.0;
+  double chosen_cost = 0.0;   // modeled cost of the chosen plan
+  double oracle_cost = 0.0;   // modeled cost of the oracle plan
+  // chosen_cost / oracle_cost, >= 1; the price of the estimation error.
+  double regret = 1.0;
+};
+
+// Runs the decision for a column whose distinct count was estimated by
+// `estimator` from `summary`, against the truth `true_groups`.
+PlanOutcome EvaluatePlanChoice(const Estimator& estimator,
+                               const SampleSummary& summary,
+                               int64_t true_groups,
+                               int64_t memory_budget_groups);
+
+}  // namespace ndv
+
+#endif  // NDV_EXEC_PLANNER_H_

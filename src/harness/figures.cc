@@ -1,0 +1,86 @@
+#include "harness/figures.h"
+
+#include <ostream>
+
+#include "common/check.h"
+
+namespace ndv {
+namespace {
+
+// Infers the estimator names of one fraction block (the sweep repeats the
+// same estimator sequence for every swept value).
+std::vector<std::string> BlockEstimators(
+    const std::vector<std::string>& all_names, size_t num_blocks) {
+  NDV_CHECK(num_blocks >= 1);
+  NDV_CHECK(all_names.size() % num_blocks == 0);
+  const size_t per_block = all_names.size() / num_blocks;
+  return {all_names.begin(),
+          all_names.begin() + static_cast<ptrdiff_t>(per_block)};
+}
+
+}  // namespace
+
+TextTable MakeFigureTable(
+    const std::vector<EstimatorAggregate>& aggregates,
+    const std::vector<std::string>& row_labels, const std::string& row_header,
+    const std::function<double(const EstimatorAggregate&)>& metric,
+    int digits) {
+  std::vector<std::string> names;
+  names.reserve(aggregates.size());
+  for (const auto& a : aggregates) names.push_back(a.estimator);
+  const std::vector<std::string> estimators =
+      BlockEstimators(names, row_labels.size());
+
+  std::vector<std::string> header = {row_header};
+  header.insert(header.end(), estimators.begin(), estimators.end());
+  TextTable table(header);
+  const size_t per_block = estimators.size();
+  for (size_t b = 0; b < row_labels.size(); ++b) {
+    std::vector<std::string> row = {row_labels[b]};
+    for (size_t e = 0; e < per_block; ++e) {
+      row.push_back(FormatDouble(metric(aggregates[b * per_block + e]),
+                                 digits));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+TextTable MakeTableFigure(
+    const std::vector<TableAggregate>& aggregates,
+    const std::vector<std::string>& row_labels, const std::string& row_header,
+    const std::function<double(const TableAggregate&)>& metric, int digits) {
+  std::vector<std::string> names;
+  names.reserve(aggregates.size());
+  for (const auto& a : aggregates) names.push_back(a.estimator);
+  const std::vector<std::string> estimators =
+      BlockEstimators(names, row_labels.size());
+
+  std::vector<std::string> header = {row_header};
+  header.insert(header.end(), estimators.begin(), estimators.end());
+  TextTable table(header);
+  const size_t per_block = estimators.size();
+  for (size_t b = 0; b < row_labels.size(); ++b) {
+    std::vector<std::string> row = {row_labels[b]};
+    for (size_t e = 0; e < per_block; ++e) {
+      row.push_back(FormatDouble(metric(aggregates[b * per_block + e]),
+                                 digits));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+void PrintFigure(std::ostream& out, const std::string& title,
+                 const TextTable& table) {
+  PrintBanner(out, title);
+  table.Print(out);
+  out << "CSV:\n";
+  table.PrintCsv(out);
+}
+
+std::string FractionLabel(double fraction) {
+  return FormatDouble(fraction * 100.0, 2) + "%";
+}
+
+}  // namespace ndv

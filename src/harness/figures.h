@@ -1,0 +1,44 @@
+#ifndef NDV_HARNESS_FIGURES_H_
+#define NDV_HARNESS_FIGURES_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+namespace ndv {
+
+// Helpers for rendering RunSweep output as the paper's figure grids: rows
+// indexed by the swept variable (sampling rate, skew, duplication, n),
+// one column per estimator.
+
+// Renders aggregates (fraction-major, estimator-minor from RunSweep) as a
+// table with one row per swept value. `row_labels` must have one entry per
+// fraction block; `metric` picks the plotted quantity.
+TextTable MakeFigureTable(
+    const std::vector<EstimatorAggregate>& aggregates,
+    const std::vector<std::string>& row_labels,
+    const std::string& row_header,
+    const std::function<double(const EstimatorAggregate&)>& metric,
+    int digits = 3);
+
+// Same for RunTableSweep results.
+TextTable MakeTableFigure(
+    const std::vector<TableAggregate>& aggregates,
+    const std::vector<std::string>& row_labels, const std::string& row_header,
+    const std::function<double(const TableAggregate&)>& metric,
+    int digits = 3);
+
+// Prints a figure: banner, aligned grid, and a CSV block.
+void PrintFigure(std::ostream& out, const std::string& title,
+                 const TextTable& table);
+
+// Percentage label such as "0.8%" for fraction 0.008.
+std::string FractionLabel(double fraction);
+
+}  // namespace ndv
+
+#endif  // NDV_HARNESS_FIGURES_H_

@@ -1,0 +1,90 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace ndv {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NDV_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  NDV_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+      out << " |";
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    out << "+";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) out << '-';
+      out << '+';
+    }
+    out << '\n';
+  };
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void TextTable::PrintCsv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      const std::string& field = row[c];
+      if (field.find_first_of(",\"\n") != std::string::npos) {
+        out << '"';
+        for (char ch : field) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << field;
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  std::string s(buffer);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+void PrintBanner(std::ostream& out, const std::string& title) {
+  out << '\n' << "=== " << title << " ===" << '\n';
+}
+
+}  // namespace ndv

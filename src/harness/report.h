@@ -1,0 +1,41 @@
+#ifndef NDV_HARNESS_REPORT_H_
+#define NDV_HARNESS_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ndv {
+
+// Fixed-width text tables and CSV emission for the experiment binaries.
+// Each figure bench prints a human-readable grid (the paper's series) plus
+// a machine-readable CSV block.
+
+class TextTable {
+ public:
+  // `header` fixes the column count; every row must match it.
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Aligned, boxed rendering.
+  void Print(std::ostream& out) const;
+
+  // RFC-4180-ish CSV rendering (fields containing separators are quoted).
+  void PrintCsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` significant decimals, trimming trailing
+// zeros ("1.50" -> "1.5", "2.00" -> "2").
+std::string FormatDouble(double value, int digits = 3);
+
+// Section banner used by the experiment binaries.
+void PrintBanner(std::ostream& out, const std::string& title);
+
+}  // namespace ndv
+
+#endif  // NDV_HARNESS_REPORT_H_

@@ -1,0 +1,173 @@
+#include "harness/runner.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/descriptive.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace ndv {
+namespace {
+
+int64_t SampleRowsForFraction(const Column& column, double fraction) {
+  NDV_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const int64_t n = column.size();
+  int64_t r =
+      static_cast<int64_t>(std::llround(fraction * static_cast<double>(n)));
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  return r;
+}
+
+}  // namespace
+
+std::vector<EstimatorAggregate> RunTrialsAllEstimators(
+    const Column& column, int64_t actual_distinct, double fraction,
+    const std::vector<std::unique_ptr<Estimator>>& estimators,
+    const RunOptions& options) {
+  NDV_CHECK(options.trials >= 1);
+  NDV_CHECK(actual_distinct >= 1);
+  NDV_CHECK(!estimators.empty());
+  const int64_t r = SampleRowsForFraction(column, fraction);
+  const double actual = static_cast<double>(actual_distinct);
+
+  Rng rng(options.seed);
+  std::vector<RunningStats> estimates(estimators.size());
+  std::vector<RunningStats> errors(estimators.size());
+  for (int64_t trial = 0; trial < options.trials; ++trial) {
+    Rng trial_rng = rng.Fork();
+    const SampleSummary summary =
+        SampleColumn(column, r, options.scheme, trial_rng);
+    for (size_t e = 0; e < estimators.size(); ++e) {
+      const double estimate = estimators[e]->Estimate(summary);
+      estimates[e].Add(estimate);
+      errors[e].Add(RatioError(estimate, actual));
+    }
+  }
+
+  std::vector<EstimatorAggregate> aggregates(estimators.size());
+  for (size_t e = 0; e < estimators.size(); ++e) {
+    EstimatorAggregate& aggregate = aggregates[e];
+    aggregate.estimator = std::string(estimators[e]->name());
+    aggregate.sampling_fraction = fraction;
+    aggregate.actual_distinct = actual_distinct;
+    aggregate.mean_estimate = estimates[e].mean();
+    aggregate.mean_ratio_error = errors[e].mean();
+    aggregate.max_ratio_error = errors[e].max();
+    aggregate.stddev_fraction = estimates[e].PopulationStdDev() / actual;
+  }
+  return aggregates;
+}
+
+EstimatorAggregate RunTrials(const Column& column, int64_t actual_distinct,
+                             double fraction, const Estimator& estimator,
+                             const RunOptions& options) {
+  NDV_CHECK(options.trials >= 1);
+  NDV_CHECK(actual_distinct >= 1);
+  const int64_t r = SampleRowsForFraction(column, fraction);
+
+  Rng rng(options.seed);
+  RunningStats estimates;
+  RunningStats errors;
+  const double actual = static_cast<double>(actual_distinct);
+  for (int64_t trial = 0; trial < options.trials; ++trial) {
+    Rng trial_rng = rng.Fork();
+    const SampleSummary summary =
+        SampleColumn(column, r, options.scheme, trial_rng);
+    const double estimate = estimator.Estimate(summary);
+    estimates.Add(estimate);
+    errors.Add(RatioError(estimate, actual));
+  }
+
+  EstimatorAggregate aggregate;
+  aggregate.estimator = std::string(estimator.name());
+  aggregate.sampling_fraction = fraction;
+  aggregate.actual_distinct = actual_distinct;
+  aggregate.mean_estimate = estimates.mean();
+  aggregate.mean_ratio_error = errors.mean();
+  aggregate.max_ratio_error = errors.max();
+  aggregate.stddev_fraction = estimates.PopulationStdDev() / actual;
+  return aggregate;
+}
+
+std::vector<EstimatorAggregate> RunSweep(
+    const Column& column, int64_t actual_distinct,
+    const std::vector<double>& fractions,
+    const std::vector<std::unique_ptr<Estimator>>& estimators,
+    const RunOptions& options) {
+  std::vector<EstimatorAggregate> results;
+  results.reserve(fractions.size() * estimators.size());
+  for (double fraction : fractions) {
+    for (auto& aggregate : RunTrialsAllEstimators(
+             column, actual_distinct, fraction, estimators, options)) {
+      results.push_back(std::move(aggregate));
+    }
+  }
+  return results;
+}
+
+std::vector<TableAggregate> RunTableSweep(
+    const Table& table, const std::vector<double>& fractions,
+    const std::vector<std::unique_ptr<Estimator>>& estimators,
+    const RunOptions& options) {
+  const size_t num_columns = static_cast<size_t>(table.NumColumns());
+  const size_t cells = fractions.size() * estimators.size();
+
+  // Per-column work is independent; run it (optionally) in parallel and
+  // merge afterwards so results do not depend on the thread count.
+  std::vector<std::vector<EstimatorAggregate>> per_column(num_columns);
+  ParallelFor(
+      table.NumColumns(), options.threads, [&](int64_t c) {
+        RunOptions column_options = options;
+        // Vary the seed per column so columns see independent samples but
+        // the whole sweep stays deterministic.
+        column_options.seed =
+            options.seed ^ SplitMix64(static_cast<uint64_t>(c) + 1);
+        const int64_t actual = ExactDistinctHashSet(table.column(c));
+        std::vector<EstimatorAggregate> column_results;
+        column_results.reserve(cells);
+        for (double fraction : fractions) {
+          for (auto& aggregate :
+               RunTrialsAllEstimators(table.column(c), actual, fraction,
+                                      estimators, column_options)) {
+            column_results.push_back(std::move(aggregate));
+          }
+        }
+        per_column[static_cast<size_t>(c)] = std::move(column_results);
+      });
+
+  // Accumulate per (fraction, estimator) over columns.
+  std::vector<RunningStats> errors(cells);
+  std::vector<RunningStats> stddevs(cells);
+  for (const auto& column_results : per_column) {
+    NDV_CHECK(column_results.size() == cells);
+    for (size_t i = 0; i < cells; ++i) {
+      errors[i].Add(column_results[i].mean_ratio_error);
+      stddevs[i].Add(column_results[i].stddev_fraction);
+    }
+  }
+
+  std::vector<TableAggregate> results;
+  results.reserve(fractions.size() * estimators.size());
+  for (size_t f = 0; f < fractions.size(); ++f) {
+    for (size_t e = 0; e < estimators.size(); ++e) {
+      TableAggregate aggregate;
+      aggregate.estimator = std::string(estimators[e]->name());
+      aggregate.sampling_fraction = fractions[f];
+      aggregate.mean_ratio_error = errors[f * estimators.size() + e].mean();
+      aggregate.mean_stddev_fraction =
+          stddevs[f * estimators.size() + e].mean();
+      results.push_back(aggregate);
+    }
+  }
+  return results;
+}
+
+const std::vector<double>& PaperSamplingFractions() {
+  static const std::vector<double>& fractions = *new std::vector<double>{
+      0.002, 0.004, 0.008, 0.016, 0.032, 0.064};
+  return fractions;
+}
+
+}  // namespace ndv

@@ -1,0 +1,85 @@
+#ifndef NDV_HARNESS_RUNNER_H_
+#define NDV_HARNESS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+namespace ndv {
+
+// The experiment loop of the paper's Section 6: for a column, a sampling
+// fraction, and an estimator, draw several independent samples, estimate on
+// each, and aggregate ratio error and variability.
+
+struct RunOptions {
+  int64_t trials = 10;  // the paper uses 10 independent samples per point
+  uint64_t seed = 1;
+  SamplingScheme scheme = SamplingScheme::kWithoutReplacement;
+  // Worker threads for multi-column sweeps (columns are independent).
+  // 1 = run inline. Results are identical regardless of thread count.
+  int threads = 1;
+};
+
+// Aggregate over the trials of one (column, fraction, estimator) cell.
+struct EstimatorAggregate {
+  std::string estimator;
+  double sampling_fraction = 0.0;
+  int64_t actual_distinct = 0;
+  double mean_estimate = 0.0;
+  double mean_ratio_error = 0.0;  // mean over trials of max(D/D_hat, D_hat/D)
+  double max_ratio_error = 0.0;
+  // Standard deviation of the estimates divided by the true D — the
+  // "variance as a fraction of the actual number of distinct values" the
+  // paper plots (Figs. 3-4, 12, 14, 16).
+  double stddev_fraction = 0.0;
+};
+
+// Runs `options.trials` independent samples of `fraction * n` rows from
+// `column` and aggregates `estimator`'s behavior. `actual_distinct` is the
+// true D (pass the exact count; re-computing it per call would dominate
+// runtime). Deterministic in options.seed.
+EstimatorAggregate RunTrials(const Column& column, int64_t actual_distinct,
+                             double fraction, const Estimator& estimator,
+                             const RunOptions& options);
+
+// Same, but evaluates every estimator on the SAME samples (one draw per
+// trial, shared): a paired comparison, and ~|estimators| times less
+// sampling work. Returns one aggregate per estimator, in input order.
+std::vector<EstimatorAggregate> RunTrialsAllEstimators(
+    const Column& column, int64_t actual_distinct, double fraction,
+    const std::vector<std::unique_ptr<Estimator>>& estimators,
+    const RunOptions& options);
+
+// Runs every estimator on every sampling fraction; the returned vector is
+// ordered fraction-major (all estimators for fractions[0] first).
+std::vector<EstimatorAggregate> RunSweep(
+    const Column& column, int64_t actual_distinct,
+    const std::vector<double>& fractions,
+    const std::vector<std::unique_ptr<Estimator>>& estimators,
+    const RunOptions& options);
+
+// Per-estimator average over all columns of a table (the real-world-data
+// experiments, Figs. 11-16): mean over columns of the per-column mean ratio
+// error, and mean over columns of the per-column stddev fraction.
+struct TableAggregate {
+  std::string estimator;
+  double sampling_fraction = 0.0;
+  double mean_ratio_error = 0.0;
+  double mean_stddev_fraction = 0.0;
+};
+
+std::vector<TableAggregate> RunTableSweep(
+    const Table& table, const std::vector<double>& fractions,
+    const std::vector<std::unique_ptr<Estimator>>& estimators,
+    const RunOptions& options);
+
+// The paper's six sampling fractions: 0.2% .. 6.4%.
+const std::vector<double>& PaperSamplingFractions();
+
+}  // namespace ndv
+
+#endif  // NDV_HARNESS_RUNNER_H_

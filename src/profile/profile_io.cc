@@ -1,0 +1,95 @@
+#include "profile/profile_io.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace ndv {
+namespace {
+
+template <typename T>
+bool ParseNumber(std::string_view text, T* out) {
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  size_t start = 0;
+  while (start < text.size()) {
+    while (start < text.size() && text[start] == ' ') ++start;
+    size_t end = start;
+    while (end < text.size() && text[end] != ' ') ++end;
+    if (end > start) tokens.push_back(text.substr(start, end - start));
+    start = end;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string SerializeSummary(const SampleSummary& summary) {
+  summary.Validate();
+  char header[128];
+  std::snprintf(header, sizeof(header), "ndv-summary-v1 %lld %lld %d\n",
+                static_cast<long long>(summary.table_rows),
+                static_cast<long long>(summary.sample_rows),
+                summary.distinct_rows ? 1 : 0);
+  std::string out = header;
+  bool first = true;
+  for (int64_t i = 1; i <= summary.freq.MaxFrequency(); ++i) {
+    if (summary.freq.f(i) == 0) continue;
+    if (!first) out += ' ';
+    first = false;
+    out += std::to_string(i) + ":" + std::to_string(summary.freq.f(i));
+  }
+  out += '\n';
+  return out;
+}
+
+std::optional<SampleSummary> DeserializeSummary(std::string_view text) {
+  const size_t first_eol = text.find('\n');
+  if (first_eol == std::string_view::npos) return std::nullopt;
+  const std::string_view header = text.substr(0, first_eol);
+  const std::string_view body = text.substr(first_eol + 1);
+
+  const auto header_tokens = SplitWhitespace(header);
+  if (header_tokens.size() != 4 || header_tokens[0] != "ndv-summary-v1") {
+    return std::nullopt;
+  }
+  SampleSummary summary;
+  int distinct_flag = 0;
+  if (!ParseNumber(header_tokens[1], &summary.table_rows) ||
+      !ParseNumber(header_tokens[2], &summary.sample_rows) ||
+      !ParseNumber(header_tokens[3], &distinct_flag)) {
+    return std::nullopt;
+  }
+  if (distinct_flag != 0 && distinct_flag != 1) return std::nullopt;
+  summary.distinct_rows = distinct_flag == 1;
+
+  // Body: "<freq>:<count>" tokens until end or newline.
+  const size_t body_eol = body.find('\n');
+  const std::string_view entries =
+      body_eol == std::string_view::npos ? body : body.substr(0, body_eol);
+  for (std::string_view token : SplitWhitespace(entries)) {
+    const size_t colon = token.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    int64_t freq = 0;
+    int64_t count = 0;
+    if (!ParseNumber(token.substr(0, colon), &freq) ||
+        !ParseNumber(token.substr(colon + 1), &count)) {
+      return std::nullopt;
+    }
+    if (freq < 1 || count < 1) return std::nullopt;
+    summary.freq.Add(freq, count);
+  }
+
+  // Validate without aborting the process on malformed input.
+  if (summary.table_rows < 0 || summary.sample_rows < 0) return std::nullopt;
+  if (summary.sample_rows > summary.table_rows) return std::nullopt;
+  if (summary.freq.TotalCount() != summary.sample_rows) return std::nullopt;
+  return summary;
+}
+
+}  // namespace ndv

@@ -1,0 +1,29 @@
+#ifndef NDV_PROFILE_PROFILE_IO_H_
+#define NDV_PROFILE_PROFILE_IO_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "profile/frequency_profile.h"
+
+namespace ndv {
+
+// Text serialization for sample summaries, so workers can ship sufficient
+// statistics (not raw samples) to a coordinator, and sessions can persist
+// summaries next to the stats catalog.
+//
+// Format (line-oriented, versioned):
+//   ndv-summary-v1 <table_rows> <sample_rows> <distinct_rows:0|1>
+//   <freq>:<count> <freq>:<count> ...
+// The second line lists only non-zero f_i entries, ascending by frequency.
+
+std::string SerializeSummary(const SampleSummary& summary);
+
+// Parses SerializeSummary output; std::nullopt on malformed input or when
+// the parsed summary fails validation.
+std::optional<SampleSummary> DeserializeSummary(std::string_view text);
+
+}  // namespace ndv
+
+#endif  // NDV_PROFILE_PROFILE_IO_H_

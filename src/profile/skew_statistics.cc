@@ -1,0 +1,48 @@
+#include "profile/skew_statistics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace ndv {
+
+double ChiSquaredUniformityStatistic(const FrequencyProfile& profile) {
+  const int64_t d = profile.DistinctValues();
+  const int64_t r = profile.TotalCount();
+  if (d <= 1 || r == 0) return 0.0;
+  // sum_j c_j^2 expressed through the profile: sum_i i^2 f(i).
+  double sum_sq = 0.0;
+  for (int64_t i = 1; i <= profile.MaxFrequency(); ++i) {
+    sum_sq += static_cast<double>(i) * static_cast<double>(i) *
+              static_cast<double>(profile.f(i));
+  }
+  const double dd = static_cast<double>(d);
+  const double rr = static_cast<double>(r);
+  return dd / rr * sum_sq - rr;
+}
+
+SkewTestResult TestSkew(const FrequencyProfile& profile, double significance) {
+  NDV_CHECK(significance > 0.0 && significance < 1.0);
+  SkewTestResult result;
+  const int64_t d = profile.DistinctValues();
+  if (d <= 1) return result;  // Degenerate: call it low skew.
+  result.statistic = ChiSquaredUniformityStatistic(profile);
+  result.critical_value =
+      ChiSquaredQuantile(significance, static_cast<double>(d - 1));
+  result.high_skew = result.statistic > result.critical_value;
+  return result;
+}
+
+double EstimatedSquaredCV(const SampleSummary& sample, double d_hat) {
+  NDV_CHECK(sample.r() >= 1);
+  NDV_CHECK(sample.n() >= sample.r());
+  NDV_CHECK(d_hat > 0.0);
+  const double n = static_cast<double>(sample.n());
+  const double q = sample.q();
+  const double pairs = static_cast<double>(sample.freq.PairCount());
+  const double gamma_sq = d_hat / (n * n * q * q) * pairs + d_hat / n - 1.0;
+  return std::fmax(gamma_sq, 0.0);
+}
+
+}  // namespace ndv

@@ -1,0 +1,43 @@
+#ifndef NDV_PROFILE_SKEW_STATISTICS_H_
+#define NDV_PROFILE_SKEW_STATISTICS_H_
+
+#include "profile/frequency_profile.h"
+
+namespace ndv {
+
+// Skew diagnostics computed from a sample's frequency profile. These drive
+// the hybrid estimators: HYBSKEW's chi-squared uniformity test (Haas et al.,
+// VLDB'95) and HYBVAR's squared coefficient of variation (Haas & Stokes,
+// JASA'98).
+
+// Pearson chi-squared statistic for H0: "all observed classes are equally
+// likely". With d observed classes and sample size r, the expected count per
+// class is r/d and the statistic is
+//     u = sum_j (c_j - r/d)^2 / (r/d) = (d/r) * sum_i i^2 f(i) - r.
+// Returns 0 for profiles with d <= 1.
+double ChiSquaredUniformityStatistic(const FrequencyProfile& profile);
+
+// Result of the low/high-skew decision used by hybrid estimators.
+struct SkewTestResult {
+  double statistic = 0.0;        // chi-squared statistic u
+  double critical_value = 0.0;   // chi2 quantile at `significance`, d-1 dof
+  bool high_skew = false;        // statistic > critical_value
+};
+
+// Performs the chi-squared uniformity test at the given significance level
+// (the VLDB'95 hybrid uses a high quantile so that only clear non-uniformity
+// is declared "high skew"). Profiles with d <= 1 are reported low-skew.
+SkewTestResult TestSkew(const FrequencyProfile& profile,
+                        double significance = 0.975);
+
+// Estimated squared coefficient of variation of the class sizes,
+//   gamma^2 = (D/n^2) * sum_i n_i^2 - 1,
+// estimated from the sample by the standard plug-in (Haas & Stokes eq. for
+// \hat{gamma}^2): with q = r/n and a current estimate D_hat,
+//   gamma_hat^2 = max{ D_hat/(n^2 q^2) * sum_i i(i-1) f(i) + D_hat/n - 1, 0 }.
+// Requires n >= r >= 1 and d_hat > 0.
+double EstimatedSquaredCV(const SampleSummary& sample, double d_hat);
+
+}  // namespace ndv
+
+#endif  // NDV_PROFILE_SKEW_STATISTICS_H_

@@ -1,0 +1,70 @@
+#include "sample/partition_merge.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ndv {
+
+std::vector<uint64_t> MergePartitionSamples(
+    std::vector<PartitionSample> partitions, int64_t target, Rng& rng) {
+  NDV_CHECK(target >= 0);
+  int64_t total_population = 0;
+  for (const PartitionSample& partition : partitions) {
+    NDV_CHECK(partition.population >= 0);
+    NDV_CHECK(static_cast<int64_t>(partition.items.size()) <=
+              partition.population);
+    total_population += partition.population;
+  }
+  NDV_CHECK_MSG(target <= total_population,
+                "cannot sample more rows than exist");
+  for (const PartitionSample& partition : partitions) {
+    const int64_t required = std::min(target, partition.population);
+    NDV_CHECK_MSG(static_cast<int64_t>(partition.items.size()) >= required,
+                  "partition sample too small to serve any allocation: "
+                  "have %lld, need %lld",
+                  static_cast<long long>(partition.items.size()),
+                  static_cast<long long>(required));
+  }
+
+  // Multivariate hypergeometric allocation: draw rows one at a time,
+  // picking partition i with probability remaining_i / remaining_total.
+  std::vector<int64_t> take(partitions.size(), 0);
+  std::vector<int64_t> remaining(partitions.size());
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    remaining[p] = partitions[p].population;
+  }
+  int64_t remaining_total = total_population;
+  for (int64_t draw = 0; draw < target; ++draw) {
+    uint64_t pick = rng.NextBounded(static_cast<uint64_t>(remaining_total));
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      if (pick < static_cast<uint64_t>(remaining[p])) {
+        ++take[p];
+        --remaining[p];
+        --remaining_total;
+        break;
+      }
+      pick -= static_cast<uint64_t>(remaining[p]);
+    }
+  }
+
+  // Serve each allocation with a random k_i-subset of the partition's own
+  // uniform sample (a uniform subset of a uniform sample is uniform).
+  std::vector<uint64_t> merged;
+  merged.reserve(static_cast<size_t>(target));
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    std::vector<uint64_t>& pool = partitions[p].items;
+    NDV_CHECK(take[p] <= static_cast<int64_t>(pool.size()));
+    // Partial Fisher-Yates over the pool.
+    for (int64_t k = 0; k < take[p]; ++k) {
+      const size_t j =
+          static_cast<size_t>(k) +
+          static_cast<size_t>(rng.NextBounded(pool.size() - static_cast<size_t>(k)));
+      std::swap(pool[static_cast<size_t>(k)], pool[j]);
+      merged.push_back(pool[static_cast<size_t>(k)]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace ndv

@@ -1,0 +1,42 @@
+#ifndef NDV_SAMPLE_PARTITION_MERGE_H_
+#define NDV_SAMPLE_PARTITION_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ndv {
+
+// Distributed / partitioned sampling: a large table is split across
+// partitions (shards, workers, files); each partition returns a uniform
+// without-replacement sample of its own rows (e.g. from a reservoir).
+// MergePartitionSamples combines them into a single uniform
+// without-replacement sample of the WHOLE table — the ingredient a
+// parallel ANALYZE needs.
+//
+// Method: the number of merged-sample rows drawn from each partition
+// follows the multivariate hypergeometric distribution with weights n_i
+// (partition populations); conditioned on taking k_i rows from partition
+// i, any k_i-subset of that partition is equally likely, and the
+// partition's own uniform sample supplies one. Hence the merge is exactly
+// uniform over r-subsets of the union.
+
+struct PartitionSample {
+  int64_t population = 0;        // rows in the partition (n_i)
+  std::vector<uint64_t> items;   // uniform WOR sample of the partition
+                                 // (value hashes or row payloads)
+};
+
+// Draws `target` items. Requirements:
+//   * target <= sum of populations,
+//   * every partition's sample has at least min(target, population) items
+//     (so any hypergeometric allocation can be served). The common way to
+//     guarantee this: run a reservoir of capacity >= target per partition.
+// Deterministic in `rng`. The result order is unspecified.
+std::vector<uint64_t> MergePartitionSamples(
+    std::vector<PartitionSample> partitions, int64_t target, Rng& rng);
+
+}  // namespace ndv
+
+#endif  // NDV_SAMPLE_PARTITION_MERGE_H_

@@ -1,0 +1,37 @@
+#ifndef NDV_SKETCH_DISTINCT_COUNTER_H_
+#define NDV_SKETCH_DISTINCT_COUNTER_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ndv {
+
+// Full-scan "probabilistic counting" distinct counters — the alternative
+// family the paper's related work discusses (Flajolet-Martin [12], linear
+// counting [30], and successors). They trade a complete scan of the table
+// for tiny memory; the sample-based estimators trade accuracy for reading
+// only r rows. The sketch_vs_sample example and benches quantify this
+// trade-off.
+//
+// Counters consume 64-bit value hashes (e.g. Column::HashAt output).
+class DistinctCounter {
+ public:
+  virtual ~DistinctCounter() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Feeds one value occurrence. Duplicate hashes are expected and ignored
+  // by construction.
+  virtual void Add(uint64_t hash) = 0;
+
+  // Current estimate of the number of distinct values added.
+  virtual double Estimate() const = 0;
+
+  // Sketch memory footprint in bytes (excluding the object header); lets
+  // benches report accuracy-per-byte.
+  virtual int64_t MemoryBytes() const = 0;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_SKETCH_DISTINCT_COUNTER_H_

@@ -1,0 +1,19 @@
+#include "sketch/exact_counter.h"
+
+#include "sketch/flajolet_martin.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/linear_counting.h"
+
+namespace ndv {
+
+std::vector<std::unique_ptr<DistinctCounter>> MakeAllDistinctCounters() {
+  std::vector<std::unique_ptr<DistinctCounter>> counters;
+  counters.push_back(std::make_unique<ExactCounter>());
+  counters.push_back(std::make_unique<LinearCounting>(1 << 20));
+  counters.push_back(std::make_unique<FlajoletMartin>(64));
+  counters.push_back(std::make_unique<HyperLogLog>(12));
+  counters.push_back(std::make_unique<KMinimumValues>(1024));
+  return counters;
+}
+
+}  // namespace ndv

@@ -1,0 +1,38 @@
+#ifndef NDV_SKETCH_EXACT_COUNTER_H_
+#define NDV_SKETCH_EXACT_COUNTER_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "sketch/distinct_counter.h"
+
+namespace ndv {
+
+// Exact distinct counting via a hash set — the full-scan, full-memory
+// reference point (the "sort or hash" traditional approach from the
+// paper's introduction).
+class ExactCounter final : public DistinctCounter {
+ public:
+  std::string_view name() const override { return "Exact"; }
+  void Add(uint64_t hash) override { seen_.insert(hash); }
+  double Estimate() const override {
+    return static_cast<double>(seen_.size());
+  }
+  int64_t MemoryBytes() const override {
+    // Approximation: bucket array + one node per element.
+    return static_cast<int64_t>(seen_.bucket_count() * 8 +
+                                seen_.size() * 16);
+  }
+
+ private:
+  std::unordered_set<uint64_t> seen_;
+};
+
+// All sketch counters at sensible default sizes (plus the exact counter),
+// for comparative benches.
+std::vector<std::unique_ptr<DistinctCounter>> MakeAllDistinctCounters();
+
+}  // namespace ndv
+
+#endif  // NDV_SKETCH_EXACT_COUNTER_H_

@@ -1,0 +1,34 @@
+#ifndef NDV_SKETCH_FLAJOLET_MARTIN_H_
+#define NDV_SKETCH_FLAJOLET_MARTIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/distinct_counter.h"
+
+namespace ndv {
+
+// Flajolet-Martin probabilistic counting with stochastic averaging (PCSA,
+// FOCS 1983): `num_maps` bitmaps, each recording which trailing-zero counts
+// have been observed among the hashes routed to it. With R_j the position
+// of the lowest unset bit of map j,
+//   D_hat = (m / phi) * 2^{mean_j R_j},    phi ~= 0.77351.
+class FlajoletMartin final : public DistinctCounter {
+ public:
+  // Requires num_maps >= 1 (64 is the classic choice).
+  explicit FlajoletMartin(int64_t num_maps = 64);
+
+  std::string_view name() const override { return "FM-PCSA"; }
+  void Add(uint64_t hash) override;
+  double Estimate() const override;
+  int64_t MemoryBytes() const override {
+    return static_cast<int64_t>(maps_.size()) * 8;
+  }
+
+ private:
+  std::vector<uint64_t> maps_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_SKETCH_FLAJOLET_MARTIN_H_

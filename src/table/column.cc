@@ -1,0 +1,69 @@
+#include "table/column.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+namespace ndv {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return Hash64(h);
+}
+
+uint64_t DoubleColumn::HashAt(int64_t row) const {
+  NDV_DCHECK(0 <= row && row < size());
+  double v = values_[static_cast<size_t>(row)];
+  if (v == 0.0) v = 0.0;  // Canonicalize -0.0.
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Hash64(bits);
+}
+
+StringColumn::StringColumn(const std::vector<std::string>& values) {
+  std::unordered_map<std::string, int32_t> index;
+  index.reserve(values.size());
+  codes_.reserve(values.size());
+  for (const std::string& v : values) {
+    auto [it, inserted] =
+        index.emplace(v, static_cast<int32_t>(dictionary_.size()));
+    if (inserted) dictionary_.push_back(v);
+    codes_.push_back(it->second);
+  }
+  ComputeHashes();
+}
+
+StringColumn::StringColumn(std::vector<std::string> dictionary,
+                           std::vector<int32_t> codes)
+    : dictionary_(std::move(dictionary)), codes_(std::move(codes)) {
+  for (int32_t code : codes_) {
+    NDV_CHECK(0 <= code &&
+              code < static_cast<int32_t>(dictionary_.size()));
+  }
+  ComputeHashes();
+}
+
+void StringColumn::ComputeHashes() {
+  hashes_.reserve(dictionary_.size());
+  for (const std::string& s : dictionary_) hashes_.push_back(HashBytes(s));
+}
+
+}  // namespace ndv

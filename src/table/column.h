@@ -1,0 +1,126 @@
+#ifndef NDV_TABLE_COLUMN_H_
+#define NDV_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace ndv {
+
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+std::string_view ColumnTypeName(ColumnType type);
+
+// A read-only typed column. Estimators never look at raw values — only at
+// equality classes — so the one operation every column must provide is a
+// 64-bit hash of each row's value, with equal values hashing equally.
+class Column {
+ public:
+  virtual ~Column() = default;
+
+  virtual ColumnType type() const = 0;
+  virtual int64_t size() const = 0;
+
+  // 64-bit hash of the value at `row`; equal values produce equal hashes.
+  // Requires 0 <= row < size().
+  virtual uint64_t HashAt(int64_t row) const = 0;
+
+  // Debug rendering of the value at `row`.
+  virtual std::string ValueToString(int64_t row) const = 0;
+};
+
+// Column of 64-bit integers.
+class Int64Column final : public Column {
+ public:
+  explicit Int64Column(std::vector<int64_t> values)
+      : values_(std::move(values)) {}
+
+  ColumnType type() const override { return ColumnType::kInt64; }
+  int64_t size() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+  uint64_t HashAt(int64_t row) const override {
+    NDV_DCHECK(0 <= row && row < size());
+    return Hash64(static_cast<uint64_t>(values_[static_cast<size_t>(row)]));
+  }
+  std::string ValueToString(int64_t row) const override {
+    return std::to_string(values_[static_cast<size_t>(row)]);
+  }
+
+  const std::vector<int64_t>& values() const { return values_; }
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+// Column of doubles. -0.0 is canonicalized to +0.0 so the two compare (and
+// hash) as equal; NaNs all hash to one class.
+class DoubleColumn final : public Column {
+ public:
+  explicit DoubleColumn(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  ColumnType type() const override { return ColumnType::kDouble; }
+  int64_t size() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+  uint64_t HashAt(int64_t row) const override;
+  std::string ValueToString(int64_t row) const override {
+    return std::to_string(values_[static_cast<size_t>(row)]);
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+// Dictionary-encoded string column: the distinct strings live once in the
+// dictionary, rows store 32-bit codes. This mirrors how real column stores
+// hold low-cardinality string data.
+class StringColumn final : public Column {
+ public:
+  // Builds the dictionary from raw values.
+  explicit StringColumn(const std::vector<std::string>& values);
+
+  // Adopts a pre-built dictionary + codes. Codes must index `dictionary`.
+  StringColumn(std::vector<std::string> dictionary,
+               std::vector<int32_t> codes);
+
+  ColumnType type() const override { return ColumnType::kString; }
+  int64_t size() const override { return static_cast<int64_t>(codes_.size()); }
+  uint64_t HashAt(int64_t row) const override {
+    NDV_DCHECK(0 <= row && row < size());
+    return hashes_[static_cast<size_t>(codes_[static_cast<size_t>(row)])];
+  }
+  std::string ValueToString(int64_t row) const override {
+    return dictionary_[static_cast<size_t>(codes_[static_cast<size_t>(row)])];
+  }
+
+  int64_t dictionary_size() const {
+    return static_cast<int64_t>(dictionary_.size());
+  }
+
+ private:
+  void ComputeHashes();
+
+  std::vector<std::string> dictionary_;
+  std::vector<int32_t> codes_;
+  std::vector<uint64_t> hashes_;  // one per dictionary entry
+};
+
+// FNV-1a 64-bit hash of a byte string, finalized with Hash64 mixing.
+uint64_t HashBytes(std::string_view bytes);
+
+}  // namespace ndv
+
+#endif  // NDV_TABLE_COLUMN_H_

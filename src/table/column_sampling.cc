@@ -1,0 +1,66 @@
+#include "table/column_sampling.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "sample/samplers.h"
+
+namespace ndv {
+
+SampleSummary SummarizeRows(const Column& column,
+                            std::span<const int64_t> rows) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(rows.size());
+  for (int64_t row : rows) {
+    NDV_DCHECK(0 <= row && row < column.size());
+    hashes.push_back(column.HashAt(row));
+  }
+  SampleSummary summary;
+  summary.table_rows = column.size();
+  summary.sample_rows = static_cast<int64_t>(rows.size());
+  summary.freq = FrequencyProfile::FromValues(hashes);
+  summary.Validate();
+  return summary;
+}
+
+SampleSummary SampleColumn(const Column& column, int64_t sample_rows,
+                           SamplingScheme scheme, Rng& rng) {
+  const int64_t n = column.size();
+  NDV_CHECK(0 <= sample_rows && sample_rows <= n);
+  std::vector<int64_t> rows;
+  bool distinct_rows = true;
+  switch (scheme) {
+    case SamplingScheme::kWithReplacement:
+      rows = SampleWithReplacement(n, sample_rows, rng);
+      distinct_rows = false;
+      break;
+    case SamplingScheme::kWithoutReplacement:
+      rows = SampleWithoutReplacementFloyd(n, sample_rows, rng);
+      break;
+    case SamplingScheme::kBernoulli: {
+      const double q =
+          n == 0 ? 0.0
+                 : static_cast<double>(sample_rows) / static_cast<double>(n);
+      rows = SampleBernoulli(n, q, rng);
+      break;
+    }
+  }
+  SampleSummary summary = SummarizeRows(column, rows);
+  summary.distinct_rows = distinct_rows;
+  return summary;
+}
+
+SampleSummary SampleColumnFraction(const Column& column, double fraction,
+                                   Rng& rng) {
+  NDV_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const int64_t n = column.size();
+  NDV_CHECK(n >= 1);
+  int64_t r = static_cast<int64_t>(
+      std::llround(fraction * static_cast<double>(n)));
+  if (r < 1) r = 1;
+  if (r > n) r = n;
+  return SampleColumn(column, r, SamplingScheme::kWithoutReplacement, rng);
+}
+
+}  // namespace ndv

@@ -1,0 +1,194 @@
+#include "table/csv.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace ndv {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void WriteField(std::string_view field, std::ostream& out) {
+  if (!NeedsQuoting(field)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void WriteCsv(const Table& table, std::ostream& out) {
+  for (int64_t c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) out << ',';
+    WriteField(table.column_name(c), out);
+  }
+  out << '\n';
+  for (int64_t row = 0; row < table.NumRows(); ++row) {
+    for (int64_t c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) out << ',';
+      WriteField(table.column(c).ValueToString(row), out);
+    }
+    out << '\n';
+  }
+}
+
+std::optional<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once any char (or quote) seen in field
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        ++i;  // Tolerate CRLF.
+        break;
+      case '\n':
+        end_row();
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) return std::nullopt;
+  if (!field.empty() || field_started || !row.empty()) end_row();
+  return rows;
+}
+
+namespace {
+
+bool ParseInt64(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = field.data() + field.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+bool ParseDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = field.data() + field.size();
+  const auto result = std::from_chars(begin, end, *out);
+  return result.ec == std::errc() && result.ptr == end;
+}
+
+}  // namespace
+
+std::optional<Table> ReadCsvInferred(std::string_view text) {
+  auto rows = ParseCsv(text);
+  if (!rows.has_value() || rows->empty()) return std::nullopt;
+  const std::vector<std::string>& header = (*rows)[0];
+  const size_t num_cols = header.size();
+  const size_t num_rows = rows->size() - 1;
+
+  Table table;
+  for (size_t c = 0; c < num_cols; ++c) {
+    // First pass: can every field be an int64? a double?
+    bool all_int = num_rows > 0;
+    bool all_double = num_rows > 0;
+    for (size_t r = 1; r < rows->size(); ++r) {
+      if ((*rows)[r].size() != num_cols) return std::nullopt;
+      const std::string& field = (*rows)[r][c];
+      int64_t i;
+      double d;
+      if (all_int && !ParseInt64(field, &i)) all_int = false;
+      if (all_double && !ParseDouble(field, &d)) all_double = false;
+      if (!all_int && !all_double) break;
+    }
+    if (all_int) {
+      std::vector<int64_t> values(num_rows);
+      for (size_t r = 1; r < rows->size(); ++r) {
+        ParseInt64((*rows)[r][c], &values[r - 1]);
+      }
+      table.AddColumn(header[c],
+                      std::make_unique<Int64Column>(std::move(values)));
+    } else if (all_double) {
+      std::vector<double> values(num_rows);
+      for (size_t r = 1; r < rows->size(); ++r) {
+        ParseDouble((*rows)[r][c], &values[r - 1]);
+      }
+      table.AddColumn(header[c],
+                      std::make_unique<DoubleColumn>(std::move(values)));
+    } else {
+      std::vector<std::string> values;
+      values.reserve(num_rows);
+      for (size_t r = 1; r < rows->size(); ++r) {
+        values.push_back((*rows)[r][c]);
+      }
+      table.AddColumn(header[c], std::make_unique<StringColumn>(values));
+    }
+  }
+  return table;
+}
+
+std::optional<Table> ReadCsvAsStrings(std::string_view text) {
+  auto rows = ParseCsv(text);
+  if (!rows.has_value() || rows->empty()) return std::nullopt;
+  const std::vector<std::string>& header = (*rows)[0];
+  const size_t num_cols = header.size();
+  std::vector<std::vector<std::string>> columns(num_cols);
+  for (size_t r = 1; r < rows->size(); ++r) {
+    if ((*rows)[r].size() != num_cols) return std::nullopt;
+    for (size_t c = 0; c < num_cols; ++c) {
+      columns[c].push_back(std::move((*rows)[r][c]));
+    }
+  }
+  Table table;
+  for (size_t c = 0; c < num_cols; ++c) {
+    table.AddColumn(header[c], std::make_unique<StringColumn>(columns[c]));
+  }
+  return table;
+}
+
+}  // namespace ndv

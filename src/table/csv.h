@@ -1,0 +1,40 @@
+#ifndef NDV_TABLE_CSV_H_
+#define NDV_TABLE_CSV_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace ndv {
+
+// Minimal RFC-4180-style CSV interchange for tables. Supports quoted fields
+// (with doubled-quote escapes) and embedded commas/newlines in quotes. All
+// columns round-trip through strings; typed parsing is the caller's concern
+// except for the convenience readers below.
+
+// Serializes `table` (with a header row of column names) to `out`.
+void WriteCsv(const Table& table, std::ostream& out);
+
+// Parses one CSV document into rows of string fields. Returns std::nullopt
+// on malformed input (unterminated quote). An empty document yields zero
+// rows.
+std::optional<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text);
+
+// Reads a CSV document with a header row into a Table of StringColumns.
+// Returns std::nullopt on malformed input or ragged rows.
+std::optional<Table> ReadCsvAsStrings(std::string_view text);
+
+// Like ReadCsvAsStrings, but with per-column type inference: a column
+// whose every field parses as a 64-bit integer becomes an Int64Column,
+// one whose every field parses as a double becomes a DoubleColumn,
+// everything else stays a StringColumn. Empty fields block numeric
+// inference (they would need a null story).
+std::optional<Table> ReadCsvInferred(std::string_view text);
+
+}  // namespace ndv
+
+#endif  // NDV_TABLE_CSV_H_

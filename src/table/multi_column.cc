@@ -1,0 +1,51 @@
+#include "table/multi_column.h"
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace ndv {
+
+CombinedColumn::CombinedColumn(std::vector<const Column*> columns)
+    : columns_(std::move(columns)) {
+  NDV_CHECK(!columns_.empty());
+  rows_ = columns_[0]->size();
+  for (const Column* column : columns_) {
+    NDV_CHECK(column != nullptr);
+    NDV_CHECK_MSG(column->size() == rows_,
+                  "combined columns must have equal sizes");
+  }
+}
+
+CombinedColumn::CombinedColumn(const Table& table,
+                               std::vector<int64_t> column_indexes) {
+  NDV_CHECK(!column_indexes.empty());
+  columns_.reserve(column_indexes.size());
+  for (int64_t index : column_indexes) {
+    columns_.push_back(&table.column(index));
+  }
+  rows_ = table.NumRows();
+}
+
+uint64_t CombinedColumn::HashAt(int64_t row) const {
+  NDV_DCHECK(0 <= row && row < rows_);
+  // Order-dependent combination: (a, b) and (b, a) hash differently. The
+  // running hash is remixed per component so tuple structure is preserved
+  // (no collisions between (x, y) and (x ^ y, 0)-style aggregates).
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Column* column : columns_) {
+    h = Hash64(h ^ column->HashAt(row));
+  }
+  return h;
+}
+
+std::string CombinedColumn::ValueToString(int64_t row) const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i]->ValueToString(row);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ndv

@@ -1,0 +1,49 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ndv {
+
+void Table::AddColumn(std::string name, std::unique_ptr<Column> column) {
+  NDV_CHECK(column != nullptr);
+  if (columns_.empty()) {
+    num_rows_ = column->size();
+  } else {
+    NDV_CHECK_MSG(column->size() == num_rows_,
+                  "column '%s' has %lld rows, table has %lld", name.c_str(),
+                  static_cast<long long>(column->size()),
+                  static_cast<long long>(num_rows_));
+  }
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(column));
+}
+
+int64_t Table::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+int64_t ExactDistinctHashSet(const Column& column) {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(column.size()));
+  for (int64_t row = 0; row < column.size(); ++row) {
+    seen.insert(column.HashAt(row));
+  }
+  return static_cast<int64_t>(seen.size());
+}
+
+int64_t ExactDistinctSorted(const Column& column) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(static_cast<size_t>(column.size()));
+  for (int64_t row = 0; row < column.size(); ++row) {
+    hashes.push_back(column.HashAt(row));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  return static_cast<int64_t>(hashes.size());
+}
+
+}  // namespace ndv

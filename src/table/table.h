@@ -1,0 +1,64 @@
+#ifndef NDV_TABLE_TABLE_H_
+#define NDV_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/column.h"
+
+namespace ndv {
+
+// A minimal in-memory columnar table: named, equally-sized columns. This is
+// the substrate the experiments run on (the paper used SQL Server tables;
+// only uniform row access and value equality matter for the estimators).
+class Table {
+ public:
+  Table() = default;
+
+  // Move-only: columns can be large.
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // Appends a column. All columns must have the same number of rows; the
+  // first column fixes the row count.
+  void AddColumn(std::string name, std::unique_ptr<Column> column);
+
+  int64_t NumRows() const { return num_rows_; }
+  int64_t NumColumns() const { return static_cast<int64_t>(columns_.size()); }
+
+  const Column& column(int64_t i) const {
+    NDV_CHECK(0 <= i && i < NumColumns());
+    return *columns_[static_cast<size_t>(i)];
+  }
+  const std::string& column_name(int64_t i) const {
+    NDV_CHECK(0 <= i && i < NumColumns());
+    return names_[static_cast<size_t>(i)];
+  }
+
+  // Returns the index of the column named `name`, or -1 if absent.
+  int64_t FindColumn(std::string_view name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+// Exact number of distinct values in `column`, via a hash set over value
+// hashes. O(n) time, O(D) space. (Hash collisions across *distinct* values
+// would undercount; with 64-bit hashes the probability is ~D^2/2^64,
+// negligible at this library's scales.)
+int64_t ExactDistinctHashSet(const Column& column);
+
+// Exact distinct count via sort; O(n log n) time but no hash-collision
+// caveat within the sorted hash space. Used to cross-check the hash-set
+// counter in tests.
+int64_t ExactDistinctSorted(const Column& column);
+
+}  // namespace ndv
+
+#endif  // NDV_TABLE_TABLE_H_

@@ -1,0 +1,155 @@
+#include "core/bootstrap_interval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/descriptive.h"
+#include "core/all_estimators.h"
+#include "core/gee.h"
+#include "datagen/zipf.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+SampleSummary MakeTestSummary() {
+  ZipfColumnOptions options;
+  options.rows = 50000;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  options.seed = 3;
+  const auto column = MakeZipfColumn(options);
+  Rng rng(4);
+  return SampleColumnFraction(*column, 0.02, rng);
+}
+
+TEST(ResampleSummaryTest, PreservesSampleSizeAndBounds) {
+  const SampleSummary original = MakeTestSummary();
+  Rng rng(5);
+  const SampleSummary resampled = ResampleSummary(original, rng);
+  EXPECT_EQ(resampled.r(), original.r());
+  EXPECT_EQ(resampled.n(), original.n());
+  EXPECT_LE(resampled.d(), original.d());  // Resampling can only lose classes.
+  EXPECT_GE(resampled.d(), 1);
+  resampled.Validate();
+}
+
+TEST(ResampleSummaryTest, SingleClassIsFixedPoint) {
+  // One class observed r times: every resample is identical.
+  const SampleSummary summary =
+      MakeSummary(1000, std::vector<int64_t>{0, 0, 0, 0, 1});
+  Rng rng(6);
+  const SampleSummary resampled = ResampleSummary(summary, rng);
+  EXPECT_EQ(resampled.freq, summary.freq);
+}
+
+TEST(ResampleSummaryTest, DifferentDrawsDiffer) {
+  const SampleSummary original = MakeTestSummary();
+  Rng rng(7);
+  const SampleSummary a = ResampleSummary(original, rng);
+  const SampleSummary b = ResampleSummary(original, rng);
+  EXPECT_NE(a.freq, b.freq);
+}
+
+TEST(BootstrapIntervalTest, BracketsThePointEstimateTypically) {
+  const SampleSummary summary = MakeTestSummary();
+  const auto estimator = MakeEstimatorByName("GEE");
+  BootstrapOptions options;
+  options.replicates = 100;
+  const BootstrapInterval interval =
+      ComputeBootstrapInterval(*estimator, summary, options);
+  EXPECT_LE(interval.lower, interval.upper);
+  EXPECT_GT(interval.replicate_stddev, 0.0);
+  // The point estimate should be in or near the interval (bootstrap bias
+  // for GEE is modest on this workload).
+  EXPECT_GE(interval.point_estimate, interval.lower * 0.8);
+  EXPECT_LE(interval.point_estimate, interval.upper * 1.2);
+}
+
+TEST(BootstrapIntervalTest, DeterministicInSeed) {
+  const SampleSummary summary = MakeTestSummary();
+  const auto estimator = MakeEstimatorByName("AE");
+  BootstrapOptions options;
+  options.replicates = 50;
+  options.seed = 11;
+  const BootstrapInterval a =
+      ComputeBootstrapInterval(*estimator, summary, options);
+  const BootstrapInterval b =
+      ComputeBootstrapInterval(*estimator, summary, options);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+  options.seed = 12;
+  const BootstrapInterval c =
+      ComputeBootstrapInterval(*estimator, summary, options);
+  EXPECT_NE(a.lower, c.lower);
+}
+
+TEST(BootstrapIntervalTest, WiderConfidenceWiderInterval) {
+  const SampleSummary summary = MakeTestSummary();
+  const auto estimator = MakeEstimatorByName("GEE");
+  BootstrapOptions narrow;
+  narrow.replicates = 200;
+  narrow.confidence = 0.5;
+  BootstrapOptions wide = narrow;
+  wide.confidence = 0.99;
+  const BootstrapInterval narrow_interval =
+      ComputeBootstrapInterval(*estimator, summary, narrow);
+  const BootstrapInterval wide_interval =
+      ComputeBootstrapInterval(*estimator, summary, wide);
+  EXPECT_LE(wide_interval.lower, narrow_interval.lower);
+  EXPECT_GE(wide_interval.upper, narrow_interval.upper);
+}
+
+TEST(BootstrapIntervalTest, DegenerateSampleYieldsPointInterval) {
+  // One class only: all replicates identical.
+  const SampleSummary summary =
+      MakeSummary(1000, std::vector<int64_t>{0, 0, 0, 0, 0, 0, 0, 1});
+  const auto estimator = MakeEstimatorByName("GEE");
+  BootstrapOptions options;
+  options.replicates = 20;
+  const BootstrapInterval interval =
+      ComputeBootstrapInterval(*estimator, summary, options);
+  EXPECT_DOUBLE_EQ(interval.lower, interval.upper);
+  EXPECT_DOUBLE_EQ(interval.replicate_stddev, 0.0);
+}
+
+TEST(BootstrapIntervalTest, CoversEstimatorSamplingDistribution) {
+  // The bootstrap quantifies sampling variability, not estimator bias (see
+  // the header caveat): its interval should usually cover the estimator's
+  // own cross-sample mean — not necessarily the true D when the estimator
+  // is biased.
+  ZipfColumnOptions options;
+  options.rows = 100000;
+  options.z = 0.0;
+  options.dup_factor = 50;  // D = 2000
+  const auto column = MakeZipfColumn(options);
+  const auto estimator = MakeEstimatorByName("AE");
+
+  // The estimator's expected value, from fresh independent samples.
+  Rng mean_rng(99);
+  RunningStats fresh;
+  for (int t = 0; t < 20; ++t) {
+    fresh.Add(estimator->Estimate(
+        SampleColumnFraction(*column, 0.05, mean_rng)));
+  }
+  const double cross_sample_mean = fresh.mean();
+
+  Rng rng(21);
+  int covered = 0;
+  for (int t = 0; t < 10; ++t) {
+    const SampleSummary summary = SampleColumnFraction(*column, 0.05, rng);
+    BootstrapOptions boot;
+    boot.replicates = 100;
+    boot.seed = static_cast<uint64_t>(t);
+    const BootstrapInterval interval =
+        ComputeBootstrapInterval(*estimator, summary, boot);
+    if (interval.lower <= cross_sample_mean &&
+        cross_sample_mean <= interval.upper) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, 6);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,83 @@
+#include "catalog/cardinality.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+ColumnStats MakeStats(int64_t rows, double distinct) {
+  ColumnStats stats;
+  stats.table_rows = rows;
+  stats.estimate = distinct;
+  return stats;
+}
+
+TEST(EqualityCardinalityTest, RowsOverDistinct) {
+  EXPECT_DOUBLE_EQ(EstimateEqualityCardinality(MakeStats(10000, 100.0)),
+                   100.0);
+  EXPECT_DOUBLE_EQ(EstimateEqualityCardinality(MakeStats(10000, 10000.0)),
+                   1.0);
+}
+
+TEST(JoinCardinalityTest, TextbookFormula) {
+  // |R|=1000 (D=100), |S|=5000 (D=250): 1000*5000/250.
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(MakeStats(1000, 100.0),
+                                           MakeStats(5000, 250.0)),
+                   20000.0);
+}
+
+TEST(JoinCardinalityTest, SymmetricInArguments) {
+  const ColumnStats a = MakeStats(1000, 17.0);
+  const ColumnStats b = MakeStats(300, 80.0);
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(a, b),
+                   EstimateJoinCardinality(b, a));
+}
+
+TEST(JoinCardinalityTest, KeyForeignKeyCase) {
+  // S.b is a key (D = |S|): every R row matches exactly one S row.
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(MakeStats(1000, 100.0),
+                                           MakeStats(5000, 5000.0)),
+                   1000.0);
+}
+
+TEST(GroupByCardinalityTest, ProductCappedAtRows) {
+  const std::vector<ColumnStats> small = {MakeStats(10000, 10.0),
+                                          MakeStats(10000, 7.0)};
+  EXPECT_DOUBLE_EQ(EstimateGroupByCardinality(small), 70.0);
+  const std::vector<ColumnStats> big = {MakeStats(10000, 500.0),
+                                        MakeStats(10000, 400.0)};
+  EXPECT_DOUBLE_EQ(EstimateGroupByCardinality(big), 10000.0);
+}
+
+TEST(GroupByCardinalityTest, SingleColumnIsItsDistinctCount) {
+  const std::vector<ColumnStats> one = {MakeStats(10000, 42.0)};
+  EXPECT_DOUBLE_EQ(EstimateGroupByCardinality(one), 42.0);
+}
+
+TEST(DistinctAfterFilterTest, BoundaryCases) {
+  const ColumnStats stats = MakeStats(10000, 100.0);
+  EXPECT_DOUBLE_EQ(EstimateDistinctAfterFilter(stats, 0.0), 0.0);
+  EXPECT_NEAR(EstimateDistinctAfterFilter(stats, 1.0), 100.0, 1e-9);
+}
+
+TEST(DistinctAfterFilterTest, BallsAndBinsShape) {
+  // 100 classes of 100 rows; selecting 1% of rows keeps a class with
+  // probability 1 - 0.99^100 ~ 0.634.
+  const ColumnStats stats = MakeStats(10000, 100.0);
+  const double surviving = EstimateDistinctAfterFilter(stats, 0.01);
+  EXPECT_NEAR(surviving, 100.0 * (1.0 - std::pow(0.99, 100.0)), 1e-9);
+  // Monotone in selectivity.
+  EXPECT_LT(EstimateDistinctAfterFilter(stats, 0.005), surviving);
+}
+
+TEST(DistinctAfterFilterTest, UniqueColumnScalesLinearly) {
+  // D == n: every selected row is a new distinct value.
+  const ColumnStats stats = MakeStats(10000, 10000.0);
+  EXPECT_NEAR(EstimateDistinctAfterFilter(stats, 0.25), 2500.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ndv

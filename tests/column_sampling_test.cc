@@ -1,0 +1,97 @@
+#include "table/column_sampling.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+Int64Column MakeColumn() {
+  // 10 rows: value 1 x6, value 2 x3, value 3 x1.
+  return Int64Column({1, 1, 1, 1, 1, 1, 2, 2, 2, 3});
+}
+
+TEST(SummarizeRowsTest, BuildsCorrectProfile) {
+  const Int64Column column = MakeColumn();
+  const std::vector<int64_t> rows = {0, 1, 6, 9};  // values 1,1,2,3
+  const SampleSummary summary = SummarizeRows(column, rows);
+  EXPECT_EQ(summary.n(), 10);
+  EXPECT_EQ(summary.r(), 4);
+  EXPECT_EQ(summary.d(), 3);
+  EXPECT_EQ(summary.f(1), 2);
+  EXPECT_EQ(summary.f(2), 1);
+}
+
+TEST(SummarizeRowsTest, EmptyRowSet) {
+  const Int64Column column = MakeColumn();
+  const SampleSummary summary = SummarizeRows(column, {});
+  EXPECT_EQ(summary.r(), 0);
+  EXPECT_EQ(summary.d(), 0);
+}
+
+TEST(SampleColumnTest, WithoutReplacementExactSize) {
+  const Int64Column column = MakeColumn();
+  Rng rng(3);
+  const SampleSummary summary =
+      SampleColumn(column, 5, SamplingScheme::kWithoutReplacement, rng);
+  EXPECT_EQ(summary.r(), 5);
+  EXPECT_LE(summary.d(), 3);
+  summary.Validate();
+}
+
+TEST(SampleColumnTest, WithReplacementExactSize) {
+  const Int64Column column = MakeColumn();
+  Rng rng(4);
+  const SampleSummary summary =
+      SampleColumn(column, 8, SamplingScheme::kWithReplacement, rng);
+  EXPECT_EQ(summary.r(), 8);
+  summary.Validate();
+}
+
+TEST(SampleColumnTest, BernoulliApproximateSize) {
+  std::vector<int64_t> values(10000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i % 100);
+  }
+  const Int64Column column(values);
+  Rng rng(5);
+  const SampleSummary summary =
+      SampleColumn(column, 1000, SamplingScheme::kBernoulli, rng);
+  EXPECT_NEAR(static_cast<double>(summary.r()), 1000.0, 150.0);
+  summary.Validate();
+}
+
+TEST(SampleColumnTest, FullSampleSeesEverything) {
+  const Int64Column column = MakeColumn();
+  Rng rng(6);
+  const SampleSummary summary =
+      SampleColumn(column, 10, SamplingScheme::kWithoutReplacement, rng);
+  EXPECT_EQ(summary.d(), 3);
+  EXPECT_EQ(summary.f(6), 1);
+  EXPECT_EQ(summary.f(3), 1);
+  EXPECT_EQ(summary.f(1), 1);
+}
+
+TEST(SampleColumnFractionTest, RoundsAndClamps) {
+  const Int64Column column = MakeColumn();
+  Rng rng(7);
+  // 0.01% of 10 rows rounds to 0 -> clamped to 1.
+  EXPECT_EQ(SampleColumnFraction(column, 0.0001, rng).r(), 1);
+  EXPECT_EQ(SampleColumnFraction(column, 1.0, rng).r(), 10);
+  EXPECT_EQ(SampleColumnFraction(column, 0.5, rng).r(), 5);
+}
+
+TEST(SampleColumnTest, DeterministicGivenRngState) {
+  const Int64Column column = MakeColumn();
+  Rng rng_a(8);
+  Rng rng_b(8);
+  const SampleSummary a =
+      SampleColumn(column, 5, SamplingScheme::kWithoutReplacement, rng_a);
+  const SampleSummary b =
+      SampleColumn(column, 5, SamplingScheme::kWithoutReplacement, rng_b);
+  EXPECT_EQ(a.freq, b.freq);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,66 @@
+#include "common/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.PopulationVariance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.PopulationStdDev(), 2.0);
+  EXPECT_NEAR(stats.SampleVariance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MinMax) {
+  RunningStats stats;
+  for (double x : {3.0, -1.0, 10.0, 2.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 10.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats stats;
+  stats.Add(42.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.PopulationVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.SampleVariance(), 0.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  // Welford should not lose the variance when the mean is huge.
+  RunningStats stats;
+  const double offset = 1e12;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) stats.Add(x);
+  EXPECT_NEAR(stats.PopulationVariance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(RatioErrorTest, AlwaysAtLeastOne) {
+  EXPECT_DOUBLE_EQ(RatioError(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(RatioError(5.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(RatioError(20.0, 10.0), 2.0);
+}
+
+TEST(RatioErrorTest, SymmetricInOverAndUnderEstimation) {
+  EXPECT_DOUBLE_EQ(RatioError(5.0, 10.0), RatioError(20.0, 10.0));
+}
+
+TEST(RelativeErrorTest, SignedFractional) {
+  EXPECT_DOUBLE_EQ(RelativeError(12.0, 10.0), 0.2);
+  EXPECT_DOUBLE_EQ(RelativeError(8.0, 10.0), -0.2);
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 10.0), 0.0);
+}
+
+TEST(MeanStdDevTest, MatchRunningStats) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.5);
+  EXPECT_NEAR(StdDev(values), std::sqrt(1.25), 1e-12);
+}
+
+}  // namespace
+}  // namespace ndv

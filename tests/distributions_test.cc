@@ -1,0 +1,83 @@
+#include "common/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+TEST(RegularizedGammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 100.0}) {
+    for (double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, KnownValues) {
+  // P(1, x) = 1 - e^{-x}.
+  EXPECT_NEAR(RegularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(RegularizedGammaP(0.5, 1.0), std::erf(1.0), 1e-10);
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(3.0, 0.0), 0.0);
+}
+
+TEST(ChiSquaredCdfTest, MatchesKnownQuantiles) {
+  // Chi-squared with 1 dof: CDF(3.841) ~= 0.95.
+  EXPECT_NEAR(ChiSquaredCdf(3.8414588, 1.0), 0.95, 1e-6);
+  // 10 dof: CDF(18.307) ~= 0.95.
+  EXPECT_NEAR(ChiSquaredCdf(18.3070381, 10.0), 0.95, 1e-6);
+  // 2 dof is Exp(1/2): CDF(x) = 1 - e^{-x/2}.
+  EXPECT_NEAR(ChiSquaredCdf(4.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(-1.0, 5.0), 0.0);
+}
+
+TEST(ChiSquaredQuantileTest, RoundTripsThroughCdf) {
+  for (double k : {1.0, 2.0, 5.0, 30.0, 999.0}) {
+    for (double p : {0.01, 0.25, 0.5, 0.9, 0.975, 0.999}) {
+      const double x = ChiSquaredQuantile(p, k);
+      EXPECT_NEAR(ChiSquaredCdf(x, k), p, 1e-9)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(ChiSquaredQuantileTest, StandardTableValues) {
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 1.0), 3.8414588, 1e-5);
+  EXPECT_NEAR(ChiSquaredQuantile(0.95, 10.0), 18.3070381, 1e-5);
+  EXPECT_NEAR(ChiSquaredQuantile(0.975, 5.0), 12.8325020, 1e-5);
+}
+
+TEST(NormalCdfTest, SymmetryAndKnownValues) {
+  EXPECT_DOUBLE_EQ(NormalCdf(0.0), 0.5);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0) + NormalCdf(-3.0), 1.0, 1e-12);
+}
+
+TEST(NormalQuantileTest, RoundTripsThroughCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.841344746), 1.0, 1e-7);
+}
+
+TEST(NormalQuantileTest, TailsAreFiniteAndMonotone) {
+  const double far_left = NormalQuantile(1e-12);
+  const double far_right = NormalQuantile(1.0 - 1e-12);
+  EXPECT_TRUE(std::isfinite(far_left));
+  EXPECT_TRUE(std::isfinite(far_right));
+  EXPECT_LT(far_left, -6.0);
+  EXPECT_GT(far_right, 6.0);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,141 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/all_estimators.h"
+#include "datagen/zipf.h"
+#include "exec/aggregate.h"
+#include "exec/planner.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+TEST(AggregateTest, HashAndSortAgreeOnCounts) {
+  Int64Column column({3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5});
+  std::vector<GroupCount> hash_result;
+  std::vector<GroupCount> sort_result;
+  const AggregateStats hash_stats = HashAggregateCount(column, &hash_result);
+  const AggregateStats sort_stats = SortAggregateCount(column, &sort_result);
+  EXPECT_EQ(hash_stats.groups, 7);  // {3,1,4,5,9,2,6}
+  EXPECT_EQ(sort_stats.groups, 7);
+  EXPECT_EQ(hash_stats.rows, 11);
+  EXPECT_EQ(sort_stats.rows, 11);
+  EXPECT_TRUE(SameGroupCounts(hash_result, sort_result));
+}
+
+TEST(AggregateTest, GroupCountsAreRight) {
+  Int64Column column({7, 7, 7, 8});
+  std::vector<GroupCount> result;
+  HashAggregateCount(column, &result);
+  ASSERT_EQ(result.size(), 2u);
+  int64_t total = 0;
+  for (const GroupCount& group : result) total += group.rows;
+  EXPECT_EQ(total, 4);
+}
+
+TEST(AggregateTest, MatchesExactDistinctOnZipfData) {
+  ZipfColumnOptions options;
+  options.rows = 50000;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  const auto column = MakeZipfColumn(options);
+  const AggregateStats hash_stats = HashAggregateCount(*column);
+  const AggregateStats sort_stats = SortAggregateCount(*column);
+  EXPECT_EQ(hash_stats.groups, ExactDistinctHashSet(*column));
+  EXPECT_EQ(hash_stats.groups, sort_stats.groups);
+  EXPECT_EQ(hash_stats.peak_group_table_entries, hash_stats.groups);
+  EXPECT_EQ(sort_stats.peak_group_table_entries, 0);
+}
+
+TEST(PlannerTest, StrategySelectionAgainstBudget) {
+  EXPECT_EQ(ChooseAggStrategy(500.0, 1000), AggStrategy::kHash);
+  EXPECT_EQ(ChooseAggStrategy(1500.0, 1000), AggStrategy::kSort);
+  EXPECT_EQ(ChooseAggStrategy(1000.0, 1000), AggStrategy::kHash);
+}
+
+TEST(PlannerTest, CostModelShape) {
+  // In budget: hash is cheaper than sort for large inputs.
+  EXPECT_LT(AggregateCost(AggStrategy::kHash, 1000000, 100, 1000),
+            AggregateCost(AggStrategy::kSort, 1000000, 100, 1000));
+  // Over budget: the spill penalty makes hash lose.
+  EXPECT_GT(AggregateCost(AggStrategy::kHash, 1000000, 50000, 1000),
+            AggregateCost(AggStrategy::kSort, 1000000, 50000, 1000));
+}
+
+TEST(PlannerTest, OracleMatchesCostModel) {
+  EXPECT_EQ(OracleAggStrategy(1000000, 100, 1000), AggStrategy::kHash);
+  EXPECT_EQ(OracleAggStrategy(1000000, 50000, 1000), AggStrategy::kSort);
+}
+
+TEST(PlannerTest, StrategyNames) {
+  EXPECT_EQ(AggStrategyName(AggStrategy::kHash), "hash-agg");
+  EXPECT_EQ(AggStrategyName(AggStrategy::kSort), "sort-agg");
+}
+
+TEST(EvaluatePlanChoiceTest, GoodEstimateZeroRegret) {
+  // D = 305 fits a 10K budget comfortably: any sane estimate picks hash
+  // and regret is 1.
+  ZipfColumnOptions options;
+  options.rows = 100000;
+  options.z = 1.0;
+  options.dup_factor = 1000;  // D = 305-ish, heavily duplicated
+  const auto column = MakeZipfColumn(options);
+  const int64_t actual = ExactDistinctHashSet(*column);
+  Rng rng(3);
+  const SampleSummary summary = SampleColumnFraction(*column, 0.01, rng);
+  const auto estimator = MakeEstimatorByName("AE");
+  const PlanOutcome outcome =
+      EvaluatePlanChoice(*estimator, summary, actual, 10000);
+  EXPECT_EQ(outcome.chosen, AggStrategy::kHash);
+  EXPECT_EQ(outcome.oracle, AggStrategy::kHash);
+  EXPECT_DOUBLE_EQ(outcome.regret, 1.0);
+}
+
+TEST(EvaluatePlanChoiceTest, UnderestimateCausesSpillRegret) {
+  // Force an underestimate by using the sample count d as the "estimator"
+  // on data whose D far exceeds the budget.
+  class SampleCountEstimator final : public Estimator {
+   public:
+    std::string_view name() const override { return "d"; }
+    double Estimate(const SampleSummary& summary) const override {
+      return static_cast<double>(summary.d());
+    }
+  };
+  ZipfColumnOptions options;
+  options.rows = 100000;
+  options.z = 0.0;
+  options.dup_factor = 2;  // D = 50000: hash would spill a 4K budget
+  const auto column = MakeZipfColumn(options);
+  const int64_t actual = ExactDistinctHashSet(*column);
+  Rng rng(5);
+  const SampleSummary summary = SampleColumnFraction(*column, 0.02, rng);
+  const SampleCountEstimator underestimator;
+  ASSERT_LT(underestimator.Estimate(summary), 4000.0);  // d ~ 2000
+  const PlanOutcome outcome =
+      EvaluatePlanChoice(underestimator, summary, actual, 4000);
+  EXPECT_EQ(outcome.chosen, AggStrategy::kHash);   // fooled
+  EXPECT_EQ(outcome.oracle, AggStrategy::kSort);   // truth says spill
+  EXPECT_GT(outcome.regret, 1.0);
+}
+
+TEST(EvaluatePlanChoiceTest, AccurateEstimatorAvoidsTheTrap) {
+  // Same workload: AE sees through the duplication and picks sort.
+  ZipfColumnOptions options;
+  options.rows = 100000;
+  options.z = 0.0;
+  options.dup_factor = 2;
+  const auto column = MakeZipfColumn(options);
+  const int64_t actual = ExactDistinctHashSet(*column);
+  Rng rng(5);
+  const SampleSummary summary = SampleColumnFraction(*column, 0.02, rng);
+  const auto estimator = MakeEstimatorByName("AE");
+  const PlanOutcome outcome =
+      EvaluatePlanChoice(*estimator, summary, actual, 4000);
+  EXPECT_EQ(outcome.chosen, AggStrategy::kSort);
+  EXPECT_DOUBLE_EQ(outcome.regret, 1.0);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,155 @@
+// Tests for the second wave of baseline estimators: ChaoLee2, the
+// second-order Burnham-Overton jackknife, and the finite-population method
+// of moments, plus the continuous hypergeometric helper they rely on.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "estimators/coverage.h"
+#include "estimators/jackknife.h"
+#include "estimators/method_of_moments.h"
+#include "profile/frequency_profile.h"
+
+namespace ndv {
+namespace {
+
+SampleSummary SmallSummary() {
+  // n=100, f1=3, f2=1 -> r=5, d=4, q=0.05.
+  return MakeSummary(100, std::vector<int64_t>{3, 1});
+}
+
+TEST(HypergeometricMissRealTest, MatchesIntegerVersion) {
+  for (int64_t t : {1, 3, 7}) {
+    for (int64_t r : {1, 2, 5}) {
+      EXPECT_NEAR(HypergeometricMissProbabilityReal(10.0, t, r),
+                  HypergeometricMissProbability(10, t, r), 1e-12)
+          << "t=" << t << " r=" << r;
+    }
+  }
+}
+
+TEST(HypergeometricMissRealTest, ContinuousInterpolation) {
+  // Monotone decreasing in t between the integer anchor points.
+  const double at_2 = HypergeometricMissProbabilityReal(100.0, 2.0, 10.0);
+  const double at_2_5 = HypergeometricMissProbabilityReal(100.0, 2.5, 10.0);
+  const double at_3 = HypergeometricMissProbabilityReal(100.0, 3.0, 10.0);
+  EXPECT_GT(at_2, at_2_5);
+  EXPECT_GT(at_2_5, at_3);
+}
+
+TEST(HypergeometricMissRealTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(HypergeometricMissProbabilityReal(10.0, 0.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(HypergeometricMissProbabilityReal(10.0, 3.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(HypergeometricMissProbabilityReal(10.0, 6.0, 5.0), 0.0);
+}
+
+TEST(ChaoLee2Test, AtLeastChaoLee1UnderSkew) {
+  // The bias adjustment only inflates gamma^2, so CL2 >= CL1 before
+  // clamping whenever there is repeat structure.
+  std::vector<int64_t> f(30, 0);
+  f[0] = 20;
+  f[29] = 3;
+  const SampleSummary summary = MakeSummary(100000, f);
+  EXPECT_GE(ChaoLee2().Estimate(summary), ChaoLee().Estimate(summary));
+}
+
+TEST(ChaoLee2Test, EqualsChaoLeeWhenCvIsZero) {
+  // gamma1^2 == 0 kills both corrections.
+  EXPECT_DOUBLE_EQ(ChaoLee2().Estimate(SmallSummary()),
+                   ChaoLee().Estimate(SmallSummary()));
+}
+
+TEST(ChaoLee2Test, AllSingletonsSaturates) {
+  const SampleSummary summary = MakeSummary(500, std::vector<int64_t>{10});
+  EXPECT_DOUBLE_EQ(ChaoLee2().Estimate(summary), 500.0);
+}
+
+TEST(BurnhamOverton2Test, MatchesFormula) {
+  // d + f1(2r-3)/r - f2 (r-2)^2/(r(r-1))
+  //   = 4 + 3*7/5 - 1*9/20 = 4 + 4.2 - 0.45.
+  EXPECT_NEAR(BurnhamOverton2Jackknife().Estimate(SmallSummary()),
+              4.0 + 4.2 - 0.45, 1e-12);
+}
+
+TEST(BurnhamOverton2Test, HigherThanFirstOrderOnSingletonRichSamples) {
+  const SampleSummary summary =
+      MakeSummary(10000, std::vector<int64_t>{50, 5, 2});
+  EXPECT_GT(BurnhamOverton2Jackknife().Estimate(summary),
+            BurnhamOvertonJackknife().Estimate(summary));
+}
+
+TEST(BurnhamOverton2Test, TinySampleFallsBackToD) {
+  const SampleSummary summary = MakeSummary(10, std::vector<int64_t>{1});
+  EXPECT_DOUBLE_EQ(BurnhamOverton2Jackknife().Estimate(summary), 1.0);
+}
+
+TEST(StabilizedJackknife1Test, NoTruncationMatchesUj1) {
+  EXPECT_NEAR(StabilizedJackknife1(50).Estimate(SmallSummary()),
+              UnsmoothedJackknife1().Estimate(SmallSummary()), 1e-12);
+}
+
+TEST(StabilizedJackknife1Test, RemovedClassesAddedBack) {
+  // Five singletons plus an abundant class (100 observations): UJ1A drops
+  // the abundant class, estimates the light population, adds 1 back.
+  std::vector<int64_t> f(100, 0);
+  f[0] = 5;
+  f[99] = 1;
+  const SampleSummary summary = MakeSummary(10000, f);
+  const double estimate = StabilizedJackknife1(50).Estimate(summary);
+  EXPECT_GE(estimate, 6.0);
+  EXPECT_LE(estimate, 10000.0);
+  // Unlike plain UJ1, the abundant class no longer dilutes the singleton
+  // fraction, so UJ1A expands the light classes more aggressively.
+  EXPECT_GE(estimate, UnsmoothedJackknife1().Estimate(summary));
+}
+
+TEST(StabilizedJackknife1Test, FullScanReturnsD) {
+  const SampleSummary summary = MakeSummary(5, std::vector<int64_t>{1, 2});
+  EXPECT_DOUBLE_EQ(StabilizedJackknife1().Estimate(summary), 3.0);
+}
+
+TEST(FiniteMethodOfMomentsTest, SolvesHypergeometricMomentEquation) {
+  const SampleSummary summary =
+      MakeSummary(10000, std::vector<int64_t>{2, 4});  // d=6, r=10
+  const double estimate = FiniteMethodOfMoments().Estimate(summary);
+  const double miss =
+      HypergeometricMissProbabilityReal(10000.0, 10000.0 / estimate, 10.0);
+  EXPECT_NEAR(estimate * (1.0 - miss), 6.0, 1e-5);
+}
+
+TEST(FiniteMethodOfMomentsTest, CloseToInfiniteVariantAtLowRates) {
+  // At tiny q the hypergeometric and binomial models coincide.
+  const SampleSummary summary =
+      MakeSummary(1000000, std::vector<int64_t>{10, 20});
+  EXPECT_NEAR(FiniteMethodOfMoments().Estimate(summary),
+              MethodOfMoments().Estimate(summary),
+              0.01 * MethodOfMoments().Estimate(summary));
+}
+
+TEST(FiniteMethodOfMomentsTest, TighterThanInfiniteAtHighRates) {
+  // Half the table sampled: the finite version knows the unsampled half
+  // can hide fewer classes. Both must bracket d and the sanity cap.
+  const SampleSummary summary =
+      MakeSummary(40, std::vector<int64_t>{4, 8});  // r=20, d=12
+  const double finite = FiniteMethodOfMoments().Estimate(summary);
+  const double infinite = MethodOfMoments().Estimate(summary);
+  EXPECT_GE(finite, 12.0);
+  EXPECT_LE(finite, 40.0);
+  EXPECT_LE(finite, infinite + 1e-9);
+}
+
+TEST(FiniteMethodOfMomentsTest, AllDistinctSaturates) {
+  const SampleSummary summary = MakeSummary(300, std::vector<int64_t>{12});
+  EXPECT_DOUBLE_EQ(FiniteMethodOfMoments().Estimate(summary), 300.0);
+}
+
+TEST(FiniteMethodOfMomentsTest, FullScanReturnsD) {
+  const SampleSummary summary = MakeSummary(6, std::vector<int64_t>{2, 2});
+  EXPECT_DOUBLE_EQ(FiniteMethodOfMoments().Estimate(summary), 4.0);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,179 @@
+#include "profile/frequency_profile.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+TEST(FrequencyProfileTest, FromClassCounts) {
+  const std::vector<int64_t> counts = {3, 1, 1, 2, 5};
+  const FrequencyProfile profile = FrequencyProfile::FromClassCounts(counts);
+  EXPECT_EQ(profile.f(1), 2);
+  EXPECT_EQ(profile.f(2), 1);
+  EXPECT_EQ(profile.f(3), 1);
+  EXPECT_EQ(profile.f(5), 1);
+  EXPECT_EQ(profile.f(4), 0);
+  EXPECT_EQ(profile.DistinctValues(), 5);
+  EXPECT_EQ(profile.TotalCount(), 12);
+  EXPECT_EQ(profile.MaxFrequency(), 5);
+  profile.Validate();
+}
+
+TEST(FrequencyProfileTest, ZeroCountsIgnored) {
+  const std::vector<int64_t> counts = {0, 2, 0, 1};
+  const FrequencyProfile profile = FrequencyProfile::FromClassCounts(counts);
+  EXPECT_EQ(profile.DistinctValues(), 2);
+  EXPECT_EQ(profile.TotalCount(), 3);
+}
+
+TEST(FrequencyProfileTest, FromFrequencyCounts) {
+  const std::vector<int64_t> f = {4, 2, 0, 1};  // f1=4, f2=2, f4=1
+  const FrequencyProfile profile = FrequencyProfile::FromFrequencyCounts(f);
+  EXPECT_EQ(profile.f(1), 4);
+  EXPECT_EQ(profile.f(2), 2);
+  EXPECT_EQ(profile.f(3), 0);
+  EXPECT_EQ(profile.f(4), 1);
+  EXPECT_EQ(profile.DistinctValues(), 7);
+  EXPECT_EQ(profile.TotalCount(), 4 + 4 + 4);
+  profile.Validate();
+}
+
+TEST(FrequencyProfileTest, FromValues) {
+  const std::vector<uint64_t> values = {7, 7, 9, 11, 11, 11};
+  const FrequencyProfile profile = FrequencyProfile::FromValues(values);
+  EXPECT_EQ(profile.f(1), 1);
+  EXPECT_EQ(profile.f(2), 1);
+  EXPECT_EQ(profile.f(3), 1);
+  EXPECT_EQ(profile.DistinctValues(), 3);
+  EXPECT_EQ(profile.TotalCount(), 6);
+}
+
+TEST(FrequencyProfileTest, EmptyProfile) {
+  const FrequencyProfile profile;
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(profile.DistinctValues(), 0);
+  EXPECT_EQ(profile.TotalCount(), 0);
+  EXPECT_EQ(profile.MaxFrequency(), 0);
+  EXPECT_EQ(profile.f(1), 0);
+  profile.Validate();
+}
+
+TEST(FrequencyProfileTest, AddAndRemove) {
+  FrequencyProfile profile;
+  profile.Add(3, 2);
+  profile.Add(1, 5);
+  EXPECT_EQ(profile.DistinctValues(), 7);
+  EXPECT_EQ(profile.TotalCount(), 11);
+  profile.Add(3, -2);  // Remove both frequency-3 classes.
+  EXPECT_EQ(profile.f(3), 0);
+  EXPECT_EQ(profile.MaxFrequency(), 1);  // Trailing zeros trimmed.
+  profile.Validate();
+}
+
+TEST(FrequencyProfileTest, Merge) {
+  FrequencyProfile a;
+  a.Add(1, 3);
+  a.Add(2, 1);
+  FrequencyProfile b;
+  b.Add(2, 2);
+  b.Add(7, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.f(1), 3);
+  EXPECT_EQ(a.f(2), 3);
+  EXPECT_EQ(a.f(7), 1);
+  EXPECT_EQ(a.DistinctValues(), 7);
+  a.Validate();
+}
+
+TEST(FrequencyProfileTest, Truncated) {
+  FrequencyProfile profile;
+  profile.Add(1, 4);
+  profile.Add(3, 2);
+  profile.Add(10, 1);
+  int64_t removed = -1;
+  const FrequencyProfile reduced = profile.Truncated(3, &removed);
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(reduced.f(1), 4);
+  EXPECT_EQ(reduced.f(3), 2);
+  EXPECT_EQ(reduced.f(10), 0);
+  EXPECT_EQ(reduced.DistinctValues(), 6);
+  reduced.Validate();
+  // Original untouched.
+  EXPECT_EQ(profile.f(10), 1);
+}
+
+TEST(FrequencyProfileTest, TruncateAll) {
+  FrequencyProfile profile;
+  profile.Add(5, 3);
+  int64_t removed = 0;
+  const FrequencyProfile reduced = profile.Truncated(4, &removed);
+  EXPECT_EQ(removed, 3);
+  EXPECT_TRUE(reduced.empty());
+}
+
+TEST(FrequencyProfileTest, PairCount) {
+  FrequencyProfile profile;
+  profile.Add(1, 10);  // singletons contribute nothing
+  profile.Add(3, 2);   // 2 * 3*2 = 12
+  profile.Add(4, 1);   // 4*3 = 12
+  EXPECT_EQ(profile.PairCount(), 24);
+}
+
+TEST(FrequencyProfileTest, RepeatedValues) {
+  FrequencyProfile profile;
+  profile.Add(1, 6);
+  profile.Add(2, 3);
+  profile.Add(9, 1);
+  EXPECT_EQ(profile.RepeatedValues(), 4);
+}
+
+TEST(FrequencyProfileTest, ToString) {
+  FrequencyProfile profile;
+  profile.Add(1, 5);
+  profile.Add(7, 1);
+  EXPECT_EQ(profile.ToString(), "{1:5, 7:1}");
+  EXPECT_EQ(FrequencyProfile().ToString(), "{}");
+}
+
+TEST(FrequencyProfileTest, Equality) {
+  FrequencyProfile a;
+  a.Add(2, 3);
+  FrequencyProfile b;
+  b.Add(2, 3);
+  EXPECT_EQ(a, b);
+  b.Add(1, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(SampleSummaryTest, AccessorsAndValidation) {
+  const std::vector<int64_t> f = {3, 1};  // f1=3, f2=1 -> d=4, r=5
+  const SampleSummary summary = MakeSummary(100, f);
+  EXPECT_EQ(summary.n(), 100);
+  EXPECT_EQ(summary.r(), 5);
+  EXPECT_EQ(summary.d(), 4);
+  EXPECT_EQ(summary.f(1), 3);
+  EXPECT_EQ(summary.f(2), 1);
+  EXPECT_DOUBLE_EQ(summary.q(), 0.05);
+  summary.Validate();
+}
+
+TEST(SampleSummaryTest, ValidationCatchesMismatchedR) {
+  SampleSummary summary;
+  summary.table_rows = 10;
+  summary.sample_rows = 3;  // but profile says 2
+  summary.freq.Add(2, 1);
+  EXPECT_DEATH(summary.Validate(), "TotalCount");
+}
+
+TEST(SampleSummaryTest, ValidationCatchesSampleLargerThanTable) {
+  SampleSummary summary;
+  summary.table_rows = 2;
+  summary.sample_rows = 3;
+  summary.freq.Add(1, 3);
+  EXPECT_DEATH(summary.Validate(), "sample_rows");
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,197 @@
+#include "core/gee.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/descriptive.h"
+#include "datagen/zipf.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+SampleSummary SmallSummary() {
+  // n=100, f1=3, f2=1 -> r=5, d=4, q=0.05.
+  return MakeSummary(100, std::vector<int64_t>{3, 1});
+}
+
+TEST(GeeTest, MatchesFormula) {
+  // sqrt(n/r) f1 + (d - f1) = sqrt(20)*3 + 1.
+  EXPECT_NEAR(Gee().Estimate(SmallSummary()), std::sqrt(20.0) * 3.0 + 1.0,
+              1e-12);
+}
+
+TEST(GeeTest, NoSingletonsCountsRepeatsOnce) {
+  const SampleSummary summary =
+      MakeSummary(10000, std::vector<int64_t>{0, 5, 2});
+  EXPECT_DOUBLE_EQ(Gee().Estimate(summary), 7.0);
+}
+
+TEST(GeeTest, AllSingletonsIsGeometricMean) {
+  // f1 = r = d: estimate = sqrt(n/r) * r = sqrt(n r), the geometric mean of
+  // r and n.
+  const SampleSummary summary = MakeSummary(400, std::vector<int64_t>{4});
+  EXPECT_DOUBLE_EQ(Gee().Estimate(summary), std::sqrt(400.0 * 4.0));
+}
+
+TEST(GeeTest, FullScanIsExact) {
+  const SampleSummary summary = MakeSummary(6, std::vector<int64_t>{2, 2});
+  EXPECT_DOUBLE_EQ(Gee().Estimate(summary), 4.0);
+}
+
+TEST(GeeBoundsTest, OrderingAndClamping) {
+  const GeeBounds bounds = ComputeGeeBounds(SmallSummary());
+  EXPECT_DOUBLE_EQ(bounds.lower, 4.0);
+  EXPECT_DOUBLE_EQ(bounds.upper, 20.0 * 3.0 + 1.0);  // (n/r) f1 + (d - f1)
+  EXPECT_LE(bounds.lower, bounds.estimate);
+  EXPECT_LE(bounds.estimate, bounds.upper);
+  EXPECT_DOUBLE_EQ(bounds.width(), bounds.upper - bounds.lower);
+}
+
+TEST(GeeBoundsTest, EstimateIsGeometricMeanOfIntervalForPureSingletons) {
+  const SampleSummary summary = MakeSummary(10000, std::vector<int64_t>{10});
+  const GeeBounds bounds = ComputeGeeBounds(summary);
+  EXPECT_NEAR(bounds.estimate, std::sqrt(bounds.lower * bounds.upper), 1e-9);
+}
+
+TEST(GeeBoundsTest, IntervalContainsTruthWithHighProbability) {
+  // Zipf Z=1 column, 1% samples: count how often D lands in [LOWER, UPPER].
+  ZipfColumnOptions options;
+  options.rows = 50000;
+  options.z = 1.0;
+  options.seed = 12;
+  const auto column = MakeZipfColumn(options);
+  const double actual = static_cast<double>(ExactDistinctHashSet(*column));
+  Rng rng(99);
+  int covered = 0;
+  constexpr int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    const SampleSummary summary = SampleColumnFraction(*column, 0.01, rng);
+    const GeeBounds bounds = ComputeGeeBounds(summary);
+    if (bounds.lower <= actual && actual <= bounds.upper) ++covered;
+  }
+  EXPECT_GE(covered, kTrials - 1);  // Allow at most one miss.
+}
+
+TEST(GeeBoundsTest, IntervalShrinksWithSamplingRate) {
+  ZipfColumnOptions options;
+  options.rows = 50000;
+  options.z = 0.0;
+  options.dup_factor = 10;
+  const auto column = MakeZipfColumn(options);
+  Rng rng(7);
+  const GeeBounds coarse = ComputeGeeBounds(
+      SampleColumnFraction(*column, 0.01, rng));
+  const GeeBounds fine = ComputeGeeBounds(
+      SampleColumnFraction(*column, 0.2, rng));
+  EXPECT_LT(fine.width(), coarse.width());
+}
+
+TEST(GeeStandardErrorTest, Formula) {
+  // sqrt((n/r) f1 + repeats) = sqrt(20*3 + 1) for the small summary.
+  EXPECT_NEAR(GeeStandardErrorEstimate(SmallSummary()), std::sqrt(61.0),
+              1e-12);
+}
+
+TEST(GeeStandardErrorTest, TracksEmpiricalSpread) {
+  // The plug-in SE should be within a small factor of the empirically
+  // observed stddev of GEE across independent samples.
+  ZipfColumnOptions options;
+  options.rows = 100000;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  options.seed = 21;
+  const auto column = MakeZipfColumn(options);
+  Rng rng(22);
+  RunningStats estimates;
+  RunningStats predicted_se;
+  for (int t = 0; t < 60; ++t) {
+    const SampleSummary summary = SampleColumnFraction(*column, 0.02, rng);
+    estimates.Add(Gee().Estimate(summary));
+    predicted_se.Add(GeeStandardErrorEstimate(summary));
+  }
+  const double empirical = estimates.PopulationStdDev();
+  EXPECT_GT(predicted_se.mean(), empirical / 3.0);
+  EXPECT_LT(predicted_se.mean(), empirical * 3.0);
+}
+
+TEST(GeeStandardErrorTest, ZeroWhenSampleIsConstant) {
+  // One class, no singletons: GEE is deterministic at d.
+  const SampleSummary summary =
+      MakeSummary(1000, std::vector<int64_t>{0, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(GeeStandardErrorEstimate(summary), 1.0);
+  // (Poisson plug-in keeps sqrt(repeats)=1; the true spread is 0 — the
+  // estimate is conservative, never an underclaim of certainty.)
+}
+
+TEST(GeeErrorBoundTest, Formula) {
+  EXPECT_NEAR(GeeExpectedErrorBound(10000, 100), M_E * 10.0, 1e-9);
+  EXPECT_NEAR(GeeExpectedErrorBound(100, 100), M_E, 1e-12);
+}
+
+TEST(GeeExpectedValueTest, MatchesTheoremTwoCaseAnalysis) {
+  // Uniform distribution p_i = 1/D: expected GEE within the Theorem 2
+  // multiplicative window [D/e * sqrt(r/n) * (1-o(1)), D * sqrt(n/r)].
+  const int64_t n = 100000;
+  const int64_t r = 1000;
+  const int64_t cap = 5000;
+  std::vector<double> probs(static_cast<size_t>(cap), 1.0 / cap);
+  const double expected = GeeExpectedValue(probs, n, r);
+  const double scale = std::sqrt(static_cast<double>(n) / r);
+  EXPECT_GE(expected, cap / (M_E * scale) * 0.9);
+  EXPECT_LE(expected, cap * scale * 1.0001);
+}
+
+TEST(GeeExpectedValueTest, MatchesSimulation) {
+  // Column with 100 classes of 50 rows each; compare analytic E[GEE] under
+  // with-replacement sampling to the empirical mean.
+  const int64_t n = 5000;
+  const int64_t r = 200;
+  std::vector<double> probs(100, 1.0 / 100.0);
+  const double analytic = GeeExpectedValue(probs, n, r);
+
+  std::vector<int64_t> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int64_t v = 0; v < 100; ++v) {
+    values.insert(values.end(), 50, v);
+  }
+  const Int64Column column(values);
+  Rng rng(31);
+  RunningStats estimates;
+  for (int t = 0; t < 300; ++t) {
+    const SampleSummary summary =
+        SampleColumn(column, r, SamplingScheme::kWithReplacement, rng);
+    estimates.Add(Gee::Raw(summary));
+  }
+  EXPECT_NEAR(estimates.mean(), analytic, 0.05 * analytic);
+}
+
+TEST(GeeTheorem2Test, ErrorWithinBoundAcrossDistributions) {
+  // GEE's expected ratio error must stay below e*sqrt(n/r) on wildly
+  // different inputs: uniform, Zipf, single-value, near-all-distinct.
+  Rng rng(55);
+  const int64_t n = 20000;
+  const int64_t r = 200;  // bound = e * 10
+  const double bound = GeeExpectedErrorBound(n, r);
+  for (double z : {0.0, 1.0, 2.0, 4.0}) {
+    ZipfColumnOptions options;
+    options.rows = n;
+    options.z = z;
+    options.seed = static_cast<uint64_t>(z * 17 + 3);
+    const auto column = MakeZipfColumn(options);
+    const double actual = static_cast<double>(ExactDistinctHashSet(*column));
+    RunningStats errors;
+    for (int t = 0; t < 20; ++t) {
+      const SampleSummary summary = SampleColumn(
+          *column, r, SamplingScheme::kWithoutReplacement, rng);
+      errors.Add(RatioError(Gee().Estimate(summary), actual));
+    }
+    EXPECT_LE(errors.mean(), bound) << "z=" << z;
+  }
+}
+
+}  // namespace
+}  // namespace ndv

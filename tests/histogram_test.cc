@@ -1,0 +1,125 @@
+#include "catalog/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/zipf.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+TEST(EquiDepthHistogramTest, BucketInvariants) {
+  std::vector<int64_t> sample;
+  for (int64_t v = 0; v < 100; ++v) {
+    sample.insert(sample.end(), static_cast<size_t>(1 + v % 3), v);
+  }
+  const auto histogram = EquiDepthHistogram::Build(sample, 20000, 8);
+  int64_t covered = 0;
+  double total_rows = 0.0;
+  int64_t previous_upper = -1;
+  for (const HistogramBucket& bucket : histogram.buckets()) {
+    EXPECT_LE(bucket.lower, bucket.upper);
+    EXPECT_GT(bucket.lower, previous_upper);  // Disjoint, ordered buckets.
+    previous_upper = bucket.upper;
+    covered += bucket.sample_rows;
+    total_rows += bucket.estimated_rows;
+    EXPECT_GE(bucket.estimated_distinct, 1.0);
+  }
+  EXPECT_EQ(covered, static_cast<int64_t>(sample.size()));
+  EXPECT_NEAR(total_rows, 20000.0, 1.0);
+}
+
+TEST(EquiDepthHistogramTest, NeverSplitsOneValue) {
+  // 90 copies of value 5 plus a few others: value 5 must stay within one
+  // bucket even though it exceeds the bucket depth.
+  std::vector<int64_t> sample(90, 5);
+  for (int64_t v = 0; v < 10; ++v) sample.push_back(100 + v);
+  const auto histogram = EquiDepthHistogram::Build(sample, 1000, 10);
+  int buckets_containing_5 = 0;
+  for (const HistogramBucket& bucket : histogram.buckets()) {
+    if (bucket.lower <= 5 && 5 <= bucket.upper) ++buckets_containing_5;
+  }
+  EXPECT_EQ(buckets_containing_5, 1);
+}
+
+TEST(EquiDepthHistogramTest, RangeEstimateFullDomainIsTableRows) {
+  std::vector<int64_t> sample;
+  for (int64_t v = 0; v < 200; ++v) sample.push_back(v);
+  const auto histogram = EquiDepthHistogram::Build(sample, 10000, 10);
+  EXPECT_NEAR(histogram.EstimateRangeRows(-100, 1000), 10000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(histogram.EstimateRangeRows(500, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.EstimateRangeRows(10, 5), 0.0);
+}
+
+TEST(EquiDepthHistogramTest, RangeEstimateTracksUniformData) {
+  // Uniform values 0..999, table of 100K rows: [0, 499] holds ~half.
+  std::vector<int64_t> sample;
+  for (int64_t v = 0; v < 1000; ++v) sample.push_back(v);
+  const auto histogram = EquiDepthHistogram::Build(sample, 100000, 16);
+  EXPECT_NEAR(histogram.EstimateRangeRows(0, 499), 50000.0, 4000.0);
+  EXPECT_NEAR(histogram.EstimateRangeRows(250, 749), 50000.0, 4000.0);
+}
+
+TEST(EquiDepthHistogramTest, EqualityUsesPerBucketDistinct) {
+  // 10 distinct values, each 10 times in the sample, table of 1000 rows:
+  // each value should be ~100 rows.
+  std::vector<int64_t> sample;
+  for (int64_t v = 0; v < 10; ++v) {
+    sample.insert(sample.end(), 10, v);
+  }
+  const auto histogram = EquiDepthHistogram::Build(sample, 1000, 5);
+  EXPECT_NEAR(histogram.EstimateEqualityRows(3), 100.0, 30.0);
+  EXPECT_DOUBLE_EQ(histogram.EstimateEqualityRows(999), 0.0);
+}
+
+TEST(EquiDepthHistogramTest, DistinctSumTracksTruth) {
+  // Zipf column: the histogram's summed per-bucket GEE estimates should
+  // land within a reasonable factor of D.
+  ZipfColumnOptions options;
+  options.rows = 100000;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  const auto column = MakeZipfColumn(options);
+  const double actual = static_cast<double>(ExactDistinctHashSet(*column));
+  Rng rng(3);
+  const auto sample = SampleInt64Values(*column, 0.05, rng);
+  const auto histogram =
+      EquiDepthHistogram::Build(sample, column->size(), 32);
+  const double estimate = histogram.EstimatedDistinct();
+  EXPECT_GE(estimate, actual / 3.0);
+  EXPECT_LE(estimate, actual * 3.0);
+}
+
+TEST(EquiDepthHistogramTest, SingleBucketDegenerate) {
+  std::vector<int64_t> sample = {1, 2, 2, 3};
+  const auto histogram = EquiDepthHistogram::Build(sample, 40, 1);
+  ASSERT_EQ(histogram.buckets().size(), 1u);
+  EXPECT_EQ(histogram.buckets()[0].lower, 1);
+  EXPECT_EQ(histogram.buckets()[0].upper, 3);
+  EXPECT_NEAR(histogram.buckets()[0].estimated_rows, 40.0, 1e-9);
+}
+
+TEST(SampleInt64ValuesTest, SizeAndMembership) {
+  Int64Column column({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  Rng rng(5);
+  const auto values = SampleInt64Values(column, 0.5, rng);
+  EXPECT_EQ(values.size(), 5u);
+  for (int64_t v : values) {
+    EXPECT_EQ(v % 10, 0);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(EquiDepthHistogramTest, ToStringRendersBuckets) {
+  std::vector<int64_t> sample = {1, 2, 3, 4};
+  const auto histogram = EquiDepthHistogram::Build(sample, 4, 2);
+  const std::string rendered = histogram.ToString();
+  EXPECT_NE(rendered.find("["), std::string::npos);
+  EXPECT_NE(rendered.find("rows~"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndv

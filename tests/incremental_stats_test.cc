@@ -1,0 +1,83 @@
+#include "catalog/incremental_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/all_estimators.h"
+#include "datagen/zipf.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+TEST(IncrementalTrackerTest, SummaryBelowCapacityIsExact) {
+  IncrementalColumnTracker tracker(1000);
+  for (uint64_t v = 0; v < 100; ++v) {
+    tracker.Insert(Hash64(v % 25));  // 25 distinct values, 4 copies each
+  }
+  EXPECT_EQ(tracker.rows(), 100);
+  const SampleSummary summary = tracker.Summary();
+  EXPECT_EQ(summary.r(), 100);  // Reservoir not yet full: full visibility.
+  EXPECT_EQ(summary.d(), 25);
+  EXPECT_EQ(summary.f(4), 25);
+}
+
+TEST(IncrementalTrackerTest, CapacityBoundsSample) {
+  IncrementalColumnTracker tracker(64);
+  for (uint64_t v = 0; v < 10000; ++v) tracker.Insert(Hash64(v));
+  EXPECT_EQ(tracker.rows(), 10000);
+  const SampleSummary summary = tracker.Summary();
+  EXPECT_EQ(summary.r(), 64);
+  EXPECT_EQ(summary.n(), 10000);
+}
+
+TEST(IncrementalTrackerTest, EstimateTracksGrowingColumn) {
+  // Stream a Zipf column through the tracker; the snapshot estimate should
+  // land within a reasonable factor of the true running distinct count.
+  ZipfColumnOptions options;
+  options.rows = 200000;
+  options.z = 0.0;
+  options.dup_factor = 50;  // D = 4000
+  const auto column = MakeZipfColumn(options);
+  IncrementalColumnTracker tracker(8000, 7);
+  for (int64_t row = 0; row < column->size(); ++row) {
+    tracker.Insert(column->HashAt(row));
+  }
+  const auto estimator = MakeEstimatorByName("AE");
+  const ColumnStats stats = tracker.Snapshot("col", *estimator);
+  EXPECT_EQ(stats.table_rows, 200000);
+  EXPECT_EQ(stats.sample_rows, 8000);
+  EXPECT_GT(stats.estimate, 4000.0 / 2.0);
+  EXPECT_LT(stats.estimate, 4000.0 * 2.0);
+  EXPECT_LE(stats.lower, 4000.0);
+  EXPECT_GE(stats.upper, 4000.0);
+  EXPECT_EQ(stats.method, "AE");
+}
+
+TEST(IncrementalTrackerTest, StalenessLifecycle) {
+  IncrementalColumnTracker tracker(100);
+  EXPECT_TRUE(tracker.IsStale());  // Never snapshot.
+  for (uint64_t v = 0; v < 1000; ++v) tracker.Insert(Hash64(v));
+  const auto estimator = MakeEstimatorByName("GEE");
+  tracker.Snapshot("col", *estimator);
+  EXPECT_FALSE(tracker.IsStale(0.2));
+  // +10% rows: still fresh at a 20% threshold, stale at 5%.
+  for (uint64_t v = 0; v < 100; ++v) tracker.Insert(Hash64(v));
+  EXPECT_FALSE(tracker.IsStale(0.2));
+  EXPECT_TRUE(tracker.IsStale(0.05));
+  // +30% total: stale at 20% too.
+  for (uint64_t v = 0; v < 200; ++v) tracker.Insert(Hash64(v + 5000));
+  EXPECT_TRUE(tracker.IsStale(0.2));
+  // Re-snapshot refreshes.
+  tracker.Snapshot("col", *estimator);
+  EXPECT_FALSE(tracker.IsStale(0.2));
+  EXPECT_EQ(tracker.rows_at_last_snapshot(), 1300);
+}
+
+TEST(IncrementalTrackerTest, EmptyTrackerRefusesSummary) {
+  IncrementalColumnTracker tracker(10);
+  EXPECT_DEATH(tracker.Summary(), "no rows");
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,180 @@
+// End-to-end checks mirroring the paper's headline experimental claims at
+// test-friendly scale: datagen -> table -> sampling -> estimation ->
+// aggregation, compared against exact distinct counts.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_estimator.h"
+#include "core/all_estimators.h"
+#include "core/gee.h"
+#include "core/hybgee.h"
+#include "datagen/real_world_like.h"
+#include "datagen/zipf.h"
+#include "estimators/hybrid.h"
+#include "harness/runner.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+std::unique_ptr<Int64Column> MakeColumn(int64_t rows, double z, int64_t dup,
+                                        uint64_t seed = 42) {
+  ZipfColumnOptions options;
+  options.rows = rows;
+  options.z = z;
+  options.dup_factor = dup;
+  options.seed = seed;
+  return MakeZipfColumn(options);
+}
+
+EstimatorAggregate RunOne(const Column& column, const Estimator& estimator,
+                       double fraction, int64_t trials = 10,
+                       uint64_t seed = 7) {
+  RunOptions options;
+  options.trials = trials;
+  options.seed = seed;
+  return RunTrials(column, ExactDistinctHashSet(column), fraction, estimator,
+                   options);
+}
+
+TEST(IntegrationTest, HybGeeMatchesHybSkewOnLowSkew) {
+  // Paper Fig. 1: on Z=0 both hybrids take the jackknife branch.
+  const auto column = MakeColumn(100000, 0.0, 10);
+  const auto hybgee = RunOne(*column, HybGee(), 0.01);
+  const auto hybskew = RunOne(*column, HybSkew(), 0.01);
+  EXPECT_NEAR(hybgee.mean_estimate, hybskew.mean_estimate,
+              0.01 * hybskew.mean_estimate);
+}
+
+TEST(IntegrationTest, HybGeeBeatsHybSkewOnHighSkew) {
+  // Paper Fig. 2: on Z=2 HYBGEE (via GEE) beats HYBSKEW (via Shlosser).
+  const auto column = MakeColumn(100000, 2.0, 10);
+  const auto hybgee = RunOne(*column, HybGee(), 0.008);
+  const auto hybskew = RunOne(*column, HybSkew(), 0.008);
+  EXPECT_LE(hybgee.mean_ratio_error, hybskew.mean_ratio_error * 1.05);
+}
+
+TEST(IntegrationTest, GeeErrsOnLowSkewHighCardinality) {
+  // The paper's documented GEE weakness: low skew with a large number of
+  // distinct values at a low sampling rate (the Fig. 1 regime, scaled:
+  // dup=100, rate 0.2%). GEE's fixed sqrt(n/r) coefficient misses badly.
+  const auto column = MakeColumn(100000, 0.0, 100);  // D = 1000
+  const auto gee = RunOne(*column, Gee(), 0.002);
+  EXPECT_GT(gee.mean_ratio_error, 2.0);
+}
+
+TEST(IntegrationTest, AeBeatsGeeOnLowSkew) {
+  // AE adapts the f1 coefficient and recovers in the same regime.
+  const auto column = MakeColumn(100000, 0.0, 100);
+  const auto ae = RunOne(*column, AdaptiveEstimator(), 0.002);
+  const auto gee = RunOne(*column, Gee(), 0.002);
+  EXPECT_LT(ae.mean_ratio_error, gee.mean_ratio_error);
+  EXPECT_LT(ae.mean_ratio_error, 1.5);
+}
+
+TEST(IntegrationTest, GeeBeatsShlosserOnHighSkew) {
+  // Section 5.1: "In the case of high-skew synthetic data ... GEE
+  // outperforms the Shlosser Estimator."
+  const auto column = MakeColumn(100000, 2.0, 10);
+  const auto gee = RunOne(*column, Gee(), 0.008);
+  const auto shlosser =
+      RunOne(*column, *MakeEstimatorByName("Shlosser"), 0.008);
+  EXPECT_LE(gee.mean_ratio_error, shlosser.mean_ratio_error);
+}
+
+TEST(IntegrationTest, LargeSamplesConvergeToTruth) {
+  // Error at a 50% sample must be near 1 for the paper's estimators. (The
+  // paper notes error is not always monotone in r for mid-range rates —
+  // bias direction can flip — so we assert convergence, not monotonicity.)
+  const auto column = MakeColumn(100000, 1.0, 10);
+  for (const char* name : {"GEE", "AE", "HYBGEE"}) {
+    const auto estimator = MakeEstimatorByName(name);
+    const auto fine = RunOne(*column, *estimator, 0.5);
+    EXPECT_LE(fine.mean_ratio_error, 1.05) << name;
+  }
+}
+
+TEST(IntegrationTest, PaperEstimatorsReasonableOnRealWorldLikeData) {
+  // Figs. 11-16 shape: on real-data-like columns, the paper's estimators
+  // achieve small errors at a 5% sample.
+  const Table census = MakeCensusLikeScaled(10000);
+  auto estimators = MakePaperComparisonEstimators();
+  RunOptions options;
+  options.trials = 3;
+  const auto results = RunTableSweep(census, {0.05}, estimators, options);
+  for (const auto& aggregate : results) {
+    EXPECT_LE(aggregate.mean_ratio_error, 3.0) << aggregate.estimator;
+  }
+}
+
+TEST(IntegrationTest, BoundedScaleupKeepsErrorFlatForGee) {
+  // Fig. 9 shape: Zipf Z=2 base of 1000 rows (D fixed), n grows 10x by
+  // duplication, fixed 5000-row sample. Every class stays abundant in the
+  // sample, so GEE's error stays ~1 regardless of n.
+  const auto small = MakeColumn(50000, 2.0, 50);
+  const auto large = MakeColumn(500000, 2.0, 500);
+  ASSERT_EQ(ExactDistinctHashSet(*small), ExactDistinctHashSet(*large));
+  RunOptions options;
+  options.trials = 10;
+  const auto gee = MakeEstimatorByName("GEE");
+  const auto error_small = RunTrials(*small, ExactDistinctHashSet(*small),
+                                     5000.0 / 50000, *gee, options);
+  const auto error_large = RunTrials(*large, ExactDistinctHashSet(*large),
+                                     5000.0 / 500000, *gee, options);
+  EXPECT_LE(error_small.mean_ratio_error, 1.3);
+  EXPECT_LE(error_large.mean_ratio_error, 1.3);
+}
+
+TEST(IntegrationTest, HybVarGrowsLinearlyInBoundedScaleup) {
+  // Fig. 9's headline: HYBVAR's duplication-blind branch overestimates by
+  // a factor that grows with n while everything else stays flat. Reduced
+  // scale: base 1000 Zipf-2 rows, n in {50K, 200K}, fixed 5000-row sample.
+  RunOptions options;
+  options.trials = 5;
+  const auto hybvar = MakeEstimatorByName("HYBVAR");
+  const auto hybgee = MakeEstimatorByName("HYBGEE");
+  const auto small = MakeColumn(50000, 2.0, 50);
+  const auto large = MakeColumn(200000, 2.0, 200);
+  const auto hv_small = RunTrials(*small, ExactDistinctHashSet(*small),
+                                  5000.0 / 50000, *hybvar, options);
+  const auto hv_large = RunTrials(*large, ExactDistinctHashSet(*large),
+                                  5000.0 / 200000, *hybvar, options);
+  const auto hg_large = RunTrials(*large, ExactDistinctHashSet(*large),
+                                  5000.0 / 200000, *hybgee, options);
+  EXPECT_GT(hv_large.mean_ratio_error, 1.4 * hv_small.mean_ratio_error);
+  EXPECT_GT(hv_large.mean_ratio_error, 2.5);  // Clearly wrong at large n.
+  EXPECT_LE(hg_large.mean_ratio_error, 1.3);  // HYBGEE stays flat.
+}
+
+TEST(IntegrationTest, HybSkewVarianceWorstOnHighSkew) {
+  // Figs. 3-4's claim: HYBSKEW has the highest variance among the paper
+  // hybrids on high-skew data (branch flipping).
+  const auto column = MakeColumn(200000, 2.0, 100);
+  const int64_t actual = ExactDistinctHashSet(*column);
+  RunOptions options;
+  options.trials = 10;
+  const auto hybskew = RunTrials(*column, actual, 0.004,
+                                 *MakeEstimatorByName("HYBSKEW"), options);
+  const auto ae = RunTrials(*column, actual, 0.004,
+                            *MakeEstimatorByName("AE"), options);
+  const auto duj2a = RunTrials(*column, actual, 0.004,
+                               *MakeEstimatorByName("DUJ2A"), options);
+  EXPECT_GT(hybskew.stddev_fraction, ae.stddev_fraction);
+  EXPECT_GT(hybskew.stddev_fraction, duj2a.stddev_fraction);
+}
+
+TEST(IntegrationTest, SampleDistinctNeverExceedsActual) {
+  const auto column = MakeColumn(50000, 1.0, 5);
+  const int64_t actual = ExactDistinctHashSet(*column);
+  Rng rng(3);
+  for (double fraction : {0.01, 0.1, 0.5}) {
+    const SampleSummary summary =
+        SampleColumnFraction(*column, fraction, rng);
+    EXPECT_LE(summary.d(), actual);
+  }
+}
+
+}  // namespace
+}  // namespace ndv

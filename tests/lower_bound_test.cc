@@ -1,0 +1,113 @@
+#include "core/lower_bound.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/all_estimators.h"
+#include "core/gee.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+TEST(TheoremOneBoundTest, PaperSectionThreeNumbers) {
+  // "Setting gamma = 0.5 in our lower bound ... the error is at least 1.18
+  // with probability 1/2" at a 20% sampling fraction.
+  const double bound = TheoremOneErrorBound(1000000, 200000, 0.5);
+  EXPECT_NEAR(bound, 1.18, 0.01);
+}
+
+TEST(TheoremOneBoundTest, FormulaMatchesDefinition) {
+  const int64_t n = 10000, r = 100;
+  const double gamma = 0.3;
+  const double expected = std::sqrt(static_cast<double>(n - r) /
+                                    (2.0 * r) * std::log(1.0 / gamma));
+  EXPECT_DOUBLE_EQ(TheoremOneErrorBound(n, r, gamma), expected);
+}
+
+TEST(TheoremOneBoundTest, GrowsAsSampleShrinks) {
+  EXPECT_GT(TheoremOneErrorBound(100000, 100, 0.5),
+            TheoremOneErrorBound(100000, 10000, 0.5));
+}
+
+TEST(TheoremOneBoundTest, RejectsGammaBelowExpMinusR) {
+  EXPECT_DEATH(TheoremOneErrorBound(100, 2, 1e-3), "gamma");
+}
+
+TEST(TheoremOneKTest, KIsSquaredBound) {
+  const int64_t k = TheoremOneK(10000, 100, 0.5);
+  const double bound = TheoremOneErrorBound(10000, 100, 0.5);
+  EXPECT_EQ(k, static_cast<int64_t>(std::floor(bound * bound)));
+  EXPECT_GT(k, 0);
+}
+
+TEST(ScenarioTest, ScenarioAHasOneDistinctValue) {
+  const auto column = MakeScenarioA(1000);
+  EXPECT_EQ(column->size(), 1000);
+  EXPECT_EQ(ExactDistinctHashSet(*column), 1);
+}
+
+TEST(ScenarioTest, ScenarioBHasKPlusOneDistinctValues) {
+  Rng rng(5);
+  const auto column = MakeScenarioB(1000, 37, rng);
+  EXPECT_EQ(column->size(), 1000);
+  EXPECT_EQ(ExactDistinctHashSet(*column), 38);
+}
+
+TEST(ScenarioTest, ScenarioBZeroSingletonsEqualsScenarioA) {
+  Rng rng(6);
+  const auto column = MakeScenarioB(100, 0, rng);
+  EXPECT_EQ(ExactDistinctHashSet(*column), 1);
+}
+
+TEST(AllHeavyProbabilityTest, TelescopesForSingleSingleton) {
+  // k=1: P(sample misses the one singleton) = (n-r)/n.
+  EXPECT_NEAR(ScenarioBAllHeavyProbability(1000, 1, 200), 0.8, 1e-12);
+}
+
+TEST(AllHeavyProbabilityTest, MeetsTheoremGammaForChosenK) {
+  // With k chosen per the theorem, Prob[E] >= gamma.
+  const int64_t n = 100000, r = 1000;
+  const double gamma = 0.5;
+  const int64_t k = TheoremOneK(n, r, gamma);
+  EXPECT_GE(ScenarioBAllHeavyProbability(n, k, r), gamma);
+}
+
+TEST(AllHeavyProbabilityTest, Monotonicity) {
+  // More singletons or a bigger sample -> smaller probability of seeing
+  // only the heavy value.
+  EXPECT_GT(ScenarioBAllHeavyProbability(1000, 5, 100),
+            ScenarioBAllHeavyProbability(1000, 20, 100));
+  EXPECT_GT(ScenarioBAllHeavyProbability(1000, 5, 100),
+            ScenarioBAllHeavyProbability(1000, 5, 400));
+}
+
+TEST(AdversarialGameTest, EveryEstimatorErrsOnSomeScenario) {
+  // Theorem 1 empirically: each estimator must hit error >= sqrt(k) on A
+  // or B in a healthy fraction of trials (the theorem promises >= gamma,
+  // minus simulation noise).
+  const int64_t n = 20000, r = 200;
+  const double gamma = 0.5;
+  for (const auto& estimator : MakePaperComparisonEstimators()) {
+    const AdversarialGameResult result =
+        PlayAdversarialGame(*estimator, n, r, gamma, 40, 77);
+    EXPECT_GE(result.fraction_at_least_bound, 0.35) << estimator->name();
+    EXPECT_GT(result.bound, 1.0);
+    EXPECT_EQ(result.trials, 40);
+  }
+}
+
+TEST(AdversarialGameTest, GeeRespectsItsOwnUpperBoundInTheGame) {
+  // GEE's error in the adversarial game stays within the Theorem 2
+  // guarantee e*sqrt(n/r) on both scenarios.
+  const int64_t n = 20000, r = 200;
+  const AdversarialGameResult result =
+      PlayAdversarialGame(Gee(), n, r, 0.5, 40, 123);
+  const double guarantee = GeeExpectedErrorBound(n, r);
+  EXPECT_LE(result.mean_error_a, guarantee);
+  EXPECT_LE(result.mean_error_b, guarantee);
+}
+
+}  // namespace
+}  // namespace ndv

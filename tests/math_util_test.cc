@@ -1,0 +1,109 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+TEST(LogFactorialTest, SmallValuesExact) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(2), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogFactorialTest, LargeValuesMatchStirlingScale) {
+  // ln(100!) = 363.739...
+  EXPECT_NEAR(LogFactorial(100), 363.73937555556349, 1e-8);
+}
+
+TEST(LogBinomialTest, MatchesDirectComputation) {
+  EXPECT_NEAR(LogBinomial(10, 3), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogBinomial(52, 5), std::log(2598960.0), 1e-8);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogBinomial(7, 7), 0.0);
+}
+
+TEST(LogBinomialTest, SymmetricInK) {
+  EXPECT_NEAR(LogBinomial(30, 4), LogBinomial(30, 26), 1e-10);
+}
+
+TEST(PowOneMinusTest, MatchesPowForModerateInputs) {
+  EXPECT_NEAR(PowOneMinus(0.3, 5.0), std::pow(0.7, 5.0), 1e-12);
+  EXPECT_NEAR(PowOneMinus(0.5, 2.0), 0.25, 1e-12);
+}
+
+TEST(PowOneMinusTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(PowOneMinus(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(PowOneMinus(1.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(PowOneMinus(0.4, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PowOneMinus(1.0, 0.0), 1.0);
+}
+
+TEST(PowOneMinusTest, StableForTinyPLargeR) {
+  // (1 - 1e-12)^(1e9) = exp(-1e-3) to first order; naive pow would lose
+  // precision here.
+  const double expected = std::exp(1e9 * std::log1p(-1e-12));
+  EXPECT_DOUBLE_EQ(PowOneMinus(1e-12, 1e9), expected);
+  EXPECT_NEAR(PowOneMinus(1e-12, 1e9), std::exp(-1e-3), 1e-9);
+}
+
+TEST(LogPowOneMinusTest, MatchesLogOfPow) {
+  EXPECT_NEAR(LogPowOneMinus(0.3, 5.0), 5.0 * std::log(0.7), 1e-12);
+  EXPECT_EQ(LogPowOneMinus(1.0, 2.0), -INFINITY);
+  EXPECT_DOUBLE_EQ(LogPowOneMinus(0.0, 7.0), 0.0);
+}
+
+TEST(ClampTest, Clamps) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ApproxEqualTest, RelativeAndAbsolute) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 + 1.0));
+  EXPECT_TRUE(ApproxEqual(0.0, 1e-12));
+}
+
+TEST(HypergeometricMissTest, MatchesDirectEnumeration) {
+  // n=10 rows, value occupies t=3, sample r=2 without replacement:
+  // P(miss) = C(7,2)/C(10,2) = 21/45.
+  EXPECT_NEAR(HypergeometricMissProbability(10, 3, 2), 21.0 / 45.0, 1e-12);
+}
+
+TEST(HypergeometricMissTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(HypergeometricMissProbability(10, 0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(HypergeometricMissProbability(10, 3, 0), 1.0);
+  // t > n - r: the sample cannot avoid the value.
+  EXPECT_DOUBLE_EQ(HypergeometricMissProbability(10, 9, 2), 0.0);
+  EXPECT_DOUBLE_EQ(HypergeometricMissProbability(10, 10, 1), 0.0);
+}
+
+TEST(HypergeometricSingletonTest, MatchesDirectEnumeration) {
+  // n=10, t=3, r=2: P(exactly one of the 3 in sample)
+  //   = 3 * C(7,1) / C(10,2) = 21/45.
+  EXPECT_NEAR(HypergeometricSingletonProbability(10, 3, 2), 21.0 / 45.0,
+              1e-12);
+}
+
+TEST(HypergeometricSingletonTest, SumOverOutcomesIsOne) {
+  // For n=12, t=4, r=5: P(0 in sample) + sum_j P(exactly j) must be 1.
+  // Check miss + singleton <= 1 and a direct three-term identity for t=1.
+  const double miss = HypergeometricMissProbability(12, 1, 5);
+  const double one = HypergeometricSingletonProbability(12, 1, 5);
+  EXPECT_NEAR(miss + one, 1.0, 1e-12);
+}
+
+TEST(HypergeometricSingletonTest, ZeroCases) {
+  EXPECT_DOUBLE_EQ(HypergeometricSingletonProbability(10, 0, 3), 0.0);
+  // t - 1 copies cannot all be left out when t - 1 > n - r.
+  EXPECT_DOUBLE_EQ(HypergeometricSingletonProbability(10, 10, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace ndv

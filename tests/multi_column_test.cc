@@ -1,0 +1,95 @@
+#include "table/multi_column.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/gee.h"
+#include "datagen/synthetic_table.h"
+#include "table/column_sampling.h"
+
+namespace ndv {
+namespace {
+
+TEST(CombinedColumnTest, ExactDistinctCombinations) {
+  // a in {0,1}, b in {0,1,2}: rows enumerate 5 of the 6 combinations,
+  // some twice.
+  Int64Column a({0, 0, 1, 1, 0, 1, 0, 1});
+  Int64Column b({0, 1, 0, 1, 0, 2, 1, 0});
+  CombinedColumn combined({&a, &b});
+  EXPECT_EQ(combined.size(), 8);
+  EXPECT_EQ(combined.NumComponents(), 2);
+  // Distinct pairs: (0,0),(0,1),(1,0),(1,1),(1,2) -> 5.
+  EXPECT_EQ(ExactDistinctHashSet(combined), 5);
+}
+
+TEST(CombinedColumnTest, EqualTuplesHashEqually) {
+  Int64Column a({7, 7});
+  Int64Column b({9, 9});
+  CombinedColumn combined({&a, &b});
+  EXPECT_EQ(combined.HashAt(0), combined.HashAt(1));
+}
+
+TEST(CombinedColumnTest, OrderSensitive) {
+  // (x, y) vs (y, x) must hash differently in general.
+  Int64Column a({1});
+  Int64Column b({2});
+  CombinedColumn ab({&a, &b});
+  CombinedColumn ba({&b, &a});
+  EXPECT_NE(ab.HashAt(0), ba.HashAt(0));
+}
+
+TEST(CombinedColumnTest, NotDegenerateUnderXorStyleCollisions) {
+  // (1, 2) and (2, 1) and (3, 0): a naive xor of hashes would be fooled
+  // by symmetric pairs; the remixed chain must not be.
+  Int64Column a({1, 2});
+  Int64Column b({2, 1});
+  CombinedColumn combined({&a, &b});
+  EXPECT_NE(combined.HashAt(0), combined.HashAt(1));
+}
+
+TEST(CombinedColumnTest, ValueToStringShowsTuple) {
+  Int64Column a({5});
+  Int64Column b({6});
+  CombinedColumn combined({&a, &b});
+  EXPECT_EQ(combined.ValueToString(0), "(5, 6)");
+}
+
+TEST(CombinedColumnTest, TableConstructor) {
+  const std::vector<ColumnSpec> specs = {ColumnSpec::Uniform("x", 10),
+                                         ColumnSpec::Uniform("y", 10)};
+  const Table table = MakeSyntheticTable(5000, specs, 3);
+  CombinedColumn combined(table, {0, 1});
+  EXPECT_EQ(combined.size(), 5000);
+  const int64_t distinct = ExactDistinctHashSet(combined);
+  // ~100 combinations, essentially all hit at 5000 rows.
+  EXPECT_GE(distinct, 90);
+  EXPECT_LE(distinct, 100);
+}
+
+TEST(CombinedColumnTest, RejectsMismatchedSizes) {
+  Int64Column a({1, 2});
+  Int64Column b({1});
+  EXPECT_DEATH(CombinedColumn({&a, &b}), "equal sizes");
+}
+
+TEST(CombinedColumnTest, EstimatableLikeAnyColumn) {
+  // GROUP BY (x, y) cardinality estimation end to end: sample the
+  // combined column and run GEE.
+  const std::vector<ColumnSpec> specs = {ColumnSpec::Uniform("x", 40),
+                                         ColumnSpec::Zipf("y", 30, 1.0)};
+  const Table table = MakeSyntheticTable(100000, specs, 9);
+  CombinedColumn combined(table, {0, 1});
+  const double actual =
+      static_cast<double>(ExactDistinctHashSet(combined));
+  Rng rng(11);
+  const SampleSummary summary = SampleColumnFraction(combined, 0.1, rng);
+  const GeeBounds bounds = ComputeGeeBounds(summary);
+  EXPECT_LE(bounds.lower, actual);
+  EXPECT_GE(bounds.upper, actual);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,75 @@
+#include "profile/profile_io.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+TEST(ProfileIoTest, RoundTripsTypicalSummary) {
+  const SampleSummary original =
+      MakeSummary(100000, std::vector<int64_t>{120, 35, 0, 7, 0, 0, 2});
+  const std::string text = SerializeSummary(original);
+  const auto parsed = DeserializeSummary(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->table_rows, original.table_rows);
+  EXPECT_EQ(parsed->sample_rows, original.sample_rows);
+  EXPECT_EQ(parsed->distinct_rows, original.distinct_rows);
+  EXPECT_EQ(parsed->freq, original.freq);
+}
+
+TEST(ProfileIoTest, RoundTripsWithReplacementFlag) {
+  SampleSummary original = MakeSummary(500, std::vector<int64_t>{10});
+  original.distinct_rows = false;
+  const auto parsed = DeserializeSummary(SerializeSummary(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->distinct_rows);
+}
+
+TEST(ProfileIoTest, RoundTripsEmptySample) {
+  SampleSummary original;
+  original.table_rows = 42;
+  const auto parsed = DeserializeSummary(SerializeSummary(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->table_rows, 42);
+  EXPECT_EQ(parsed->sample_rows, 0);
+  EXPECT_TRUE(parsed->freq.empty());
+}
+
+TEST(ProfileIoTest, SerializedFormIsStable) {
+  const SampleSummary summary =
+      MakeSummary(1000, std::vector<int64_t>{3, 1});
+  EXPECT_EQ(SerializeSummary(summary), "ndv-summary-v1 1000 5 1\n1:3 2:1\n");
+}
+
+TEST(ProfileIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DeserializeSummary("").has_value());
+  EXPECT_FALSE(DeserializeSummary("nope\n1:1\n").has_value());
+  EXPECT_FALSE(DeserializeSummary("ndv-summary-v1 100\n1:1\n").has_value());
+  // Count/frequency must be positive integers.
+  EXPECT_FALSE(
+      DeserializeSummary("ndv-summary-v1 100 1 1\n0:1\n").has_value());
+  EXPECT_FALSE(
+      DeserializeSummary("ndv-summary-v1 100 1 1\n1:x\n").has_value());
+  // Sample larger than table.
+  EXPECT_FALSE(
+      DeserializeSummary("ndv-summary-v1 3 5 1\n1:5\n").has_value());
+  // Profile total disagrees with declared r.
+  EXPECT_FALSE(
+      DeserializeSummary("ndv-summary-v1 100 5 1\n1:2\n").has_value());
+  // Bad flag.
+  EXPECT_FALSE(
+      DeserializeSummary("ndv-summary-v1 100 2 7\n1:2\n").has_value());
+}
+
+TEST(ProfileIoTest, ToleratesTrailingNewlineVariants) {
+  const auto parsed =
+      DeserializeSummary("ndv-summary-v1 100 3 1\n1:1 2:1");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->d(), 2);
+  EXPECT_EQ(parsed->r(), 3);
+}
+
+}  // namespace
+}  // namespace ndv

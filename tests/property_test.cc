@@ -1,0 +1,224 @@
+// Property-based sweeps: invariants that must hold for EVERY estimator on
+// EVERY distribution. Parameterized over (estimator, workload) pairs.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/descriptive.h"
+#include "core/all_estimators.h"
+#include "datagen/zipf.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+struct Workload {
+  std::string label;
+  double z;
+  int64_t dup;
+};
+
+std::vector<std::string> EstimatorNames() {
+  std::vector<std::string> names;
+  for (const auto& estimator : MakeAllEstimators()) {
+    names.emplace_back(estimator->name());
+  }
+  return names;
+}
+
+const std::vector<Workload>& Workloads() {
+  static const auto& workloads = *new std::vector<Workload>{
+      {"uniform_unique", 0.0, 1},
+      {"uniform_dup20", 0.0, 20},
+      {"zipf1", 1.0, 1},
+      {"zipf2_dup10", 2.0, 10},
+      {"zipf4", 4.0, 1},
+  };
+  return workloads;
+}
+
+class EstimatorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, size_t>> {
+ protected:
+  std::unique_ptr<Estimator> estimator_ =
+      MakeEstimatorByName(std::get<0>(GetParam()));
+  const Workload& workload_ = Workloads()[std::get<1>(GetParam())];
+};
+
+TEST_P(EstimatorPropertyTest, SanityBoundsAlwaysHold) {
+  ASSERT_NE(estimator_, nullptr);
+  ZipfColumnOptions options;
+  options.rows = 20000;
+  options.z = workload_.z;
+  options.dup_factor = workload_.dup;
+  options.seed = 11;
+  const auto column = MakeZipfColumn(options);
+  Rng rng(13);
+  for (double fraction : {0.001, 0.01, 0.1, 1.0}) {
+    const SampleSummary summary =
+        SampleColumnFraction(*column, fraction, rng);
+    const double estimate = estimator_->Estimate(summary);
+    EXPECT_GE(estimate, static_cast<double>(summary.d()))
+        << "fraction=" << fraction;
+    EXPECT_LE(estimate, static_cast<double>(summary.n()))
+        << "fraction=" << fraction;
+    EXPECT_TRUE(std::isfinite(estimate)) << "fraction=" << fraction;
+  }
+}
+
+TEST_P(EstimatorPropertyTest, DeterministicOnFixedSummary) {
+  ASSERT_NE(estimator_, nullptr);
+  ZipfColumnOptions options;
+  options.rows = 10000;
+  options.z = workload_.z;
+  options.dup_factor = workload_.dup;
+  const auto column = MakeZipfColumn(options);
+  Rng rng(17);
+  const SampleSummary summary = SampleColumnFraction(*column, 0.02, rng);
+  EXPECT_DOUBLE_EQ(estimator_->Estimate(summary),
+                   estimator_->Estimate(summary));
+}
+
+TEST_P(EstimatorPropertyTest, FullScanIsExact) {
+  ASSERT_NE(estimator_, nullptr);
+  ZipfColumnOptions options;
+  options.rows = 2000;
+  options.z = workload_.z;
+  options.dup_factor = workload_.dup;
+  const auto column = MakeZipfColumn(options);
+  Rng rng(19);
+  const SampleSummary summary = SampleColumnFraction(*column, 1.0, rng);
+  EXPECT_DOUBLE_EQ(estimator_->Estimate(summary),
+                   static_cast<double>(ExactDistinctHashSet(*column)));
+}
+
+TEST_P(EstimatorPropertyTest, SingleValueColumnIsNearTrivial) {
+  ASSERT_NE(estimator_, nullptr);
+  // A column of one repeated value sampled at 5%: d = 1 and no singletons.
+  // Everything except the blind expansion baselines (Naive scale-up and the
+  // duplication-blind modified Shlosser) must say exactly 1; those two may
+  // expand d but never beyond the naive factor 1/q.
+  const Int64Column column(std::vector<int64_t>(1000, 7));
+  Rng rng(23);
+  const SampleSummary summary = SampleColumnFraction(column, 0.05, rng);
+  const double estimate = estimator_->Estimate(summary);
+  const std::string_view name = estimator_->name();
+  if (name == "Naive" || name == "MShlosser") {
+    EXPECT_GE(estimate, 1.0);
+    EXPECT_LE(estimate, 1.0 / summary.q() + 1.0);
+  } else {
+    EXPECT_NEAR(estimate, 1.0, 0.1);
+  }
+}
+
+std::vector<std::tuple<std::string, size_t>> AllCases() {
+  std::vector<std::tuple<std::string, size_t>> cases;
+  for (const std::string& name : EstimatorNames()) {
+    for (size_t w = 0; w < Workloads().size(); ++w) {
+      cases.emplace_back(name, w);
+    }
+  }
+  return cases;
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<std::string, size_t>>& info) {
+  std::string name = std::get<0>(info.param) + "_" +
+                     Workloads()[std::get<1>(info.param)].label;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimatorsAllWorkloads, EstimatorPropertyTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// Convergence: reasonable estimators' error shrinks toward 1 as the
+// sampling fraction approaches 1. (Excludes the intentionally-broken
+// Goodman and duplication-blind MShlosser baselines.)
+class ConvergenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConvergenceTest, ErrorApproachesOneAsSampleGrows) {
+  const auto estimator = MakeEstimatorByName(GetParam());
+  ASSERT_NE(estimator, nullptr);
+  ZipfColumnOptions options;
+  options.rows = 20000;
+  options.z = 1.0;
+  options.dup_factor = 4;
+  const auto column = MakeZipfColumn(options);
+  const double actual = static_cast<double>(ExactDistinctHashSet(*column));
+  Rng rng(29);
+  auto mean_error = [&](double fraction) {
+    RunningStats errors;
+    for (int t = 0; t < 5; ++t) {
+      const SampleSummary summary =
+          SampleColumnFraction(*column, fraction, rng);
+      errors.Add(RatioError(estimator->Estimate(summary), actual));
+    }
+    return errors.mean();
+  };
+  const double coarse = mean_error(0.01);
+  const double fine = mean_error(0.5);
+  EXPECT_LE(fine, coarse * 1.05);
+  EXPECT_LE(fine, 1.1);
+}
+
+// Estimators whose bias is controlled on skewed data. The CV-plug-in family
+// (UJ2, ChaoLee, and the hybrids that can route to them) is excluded here:
+// their squared-CV correction is known to overshoot badly on high-skew
+// inputs even at large sampling fractions — the very failure mode that
+// motivated the stabilized/hybrid variants. They get the uniform-data
+// convergence test below instead.
+INSTANTIATE_TEST_SUITE_P(
+    ReasonableEstimators, ConvergenceTest,
+    ::testing::Values("GEE", "AE", "HYBGEE", "HYBSKEW", "UJ1", "SJ",
+                      "Shlosser", "Chao", "Bootstrap", "MM", "HT"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+class CvSensitiveConvergenceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CvSensitiveConvergenceTest, ConvergesOnUniformData) {
+  // On equal class sizes the estimated gamma^2 vanishes and the CV-based
+  // corrections are harmless; convergence must then hold.
+  const auto estimator = MakeEstimatorByName(GetParam());
+  ASSERT_NE(estimator, nullptr);
+  ZipfColumnOptions options;
+  options.rows = 20000;
+  options.z = 0.0;
+  options.dup_factor = 4;
+  const auto column = MakeZipfColumn(options);
+  const double actual = static_cast<double>(ExactDistinctHashSet(*column));
+  Rng rng(31);
+  RunningStats errors;
+  for (int t = 0; t < 5; ++t) {
+    const SampleSummary summary = SampleColumnFraction(*column, 0.5, rng);
+    errors.Add(RatioError(estimator->Estimate(summary), actual));
+  }
+  EXPECT_LE(errors.mean(), 1.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CvPlugInEstimators, CvSensitiveConvergenceTest,
+    ::testing::Values("UJ2", "DUJ2A", "ChaoLee", "HYBVAR"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ndv

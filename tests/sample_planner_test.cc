@@ -1,0 +1,142 @@
+#include "core/sample_planner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/zipf.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+TEST(RequiredSampleSizeTest, InvertsTheoremTwoBound) {
+  // Note: e*sqrt(n/r) >= e even at r = n, so targets below e clamp to a
+  // full scan (covered by TightTargetsNeedFullScans).
+  const int64_t n = 1000000;
+  for (double target : {3.0, 5.0, 10.0}) {
+    const int64_t r = RequiredSampleSizeForGuarantee(n, target);
+    EXPECT_LE(GeeExpectedErrorBound(n, r), target * 1.001)
+        << "target=" << target;
+    // One row fewer must (roughly) break the guarantee.
+    if (r > 1 && r < n) {
+      EXPECT_GT(GeeExpectedErrorBound(n, r - 1), target * 0.999);
+    }
+  }
+}
+
+TEST(RequiredSampleSizeTest, TightTargetsNeedFullScans) {
+  // target close to 1 forces r ~ e^2 n > n -> clamped to n.
+  EXPECT_EQ(RequiredSampleSizeForGuarantee(1000, 1.5), 1000);
+  EXPECT_EQ(RequiredSampleSizeForGuarantee(1000, 2.0), 1000);
+  EXPECT_EQ(RequiredSampleSizeForGuarantee(1000, 2.7), 1000);
+}
+
+TEST(RequiredSampleSizeTest, LooseTargetsNeedFewRows) {
+  const int64_t r = RequiredSampleSizeForGuarantee(1000000, 100.0);
+  EXPECT_LE(r, 1000);
+  EXPECT_GE(r, 1);
+}
+
+TEST(IntervalCertificateTest, GeometricMeanErrorFactor) {
+  GeeBounds bounds;
+  bounds.lower = 100.0;
+  bounds.upper = 400.0;
+  bounds.estimate = 200.0;
+  EXPECT_DOUBLE_EQ(IntervalErrorCertificate(bounds), 2.0);
+  bounds.upper = 100.0;
+  EXPECT_DOUBLE_EQ(IntervalErrorCertificate(bounds), 1.0);
+}
+
+TEST(ProgressiveEstimateTest, CertifiesOnSkewedData) {
+  // High skew: the interval collapses quickly, so certification should
+  // come at a small fraction of the table.
+  ZipfColumnOptions options;
+  options.rows = 200000;
+  options.z = 2.0;
+  options.dup_factor = 100;
+  const auto column = MakeZipfColumn(options);
+  const double actual = static_cast<double>(ExactDistinctHashSet(*column));
+
+  ProgressiveOptions progressive;
+  progressive.target_error = 1.5;
+  const ProgressiveResult result = ProgressiveEstimate(*column, progressive);
+  EXPECT_TRUE(result.certified);
+  EXPECT_LE(result.certificate, 1.5);
+  EXPECT_LT(result.sample_rows, column->size());
+  // The certificate is honest: truth inside the interval.
+  EXPECT_LE(result.bounds.lower, actual);
+  EXPECT_GE(result.bounds.upper, actual);
+  EXPECT_GE(result.rounds, 1);
+}
+
+TEST(ProgressiveEstimateTest, HardDataEscalatesToLargerSamples) {
+  // Low skew, many distinct values: certification needs a much larger
+  // sample than the skewed case.
+  ZipfColumnOptions easy;
+  easy.rows = 200000;
+  easy.z = 2.0;
+  easy.dup_factor = 100;
+  ZipfColumnOptions hard;
+  hard.rows = 200000;
+  hard.z = 0.0;
+  hard.dup_factor = 10;
+  const auto easy_column = MakeZipfColumn(easy);
+  const auto hard_column = MakeZipfColumn(hard);
+  ProgressiveOptions progressive;
+  progressive.target_error = 2.0;
+  const ProgressiveResult easy_result =
+      ProgressiveEstimate(*easy_column, progressive);
+  const ProgressiveResult hard_result =
+      ProgressiveEstimate(*hard_column, progressive);
+  EXPECT_TRUE(easy_result.certified);
+  EXPECT_TRUE(hard_result.certified);
+  EXPECT_GE(hard_result.sample_rows, 4 * easy_result.sample_rows);
+}
+
+TEST(ProgressiveEstimateTest, MaxRowsStopsEscalation) {
+  ZipfColumnOptions options;
+  options.rows = 100000;
+  options.z = 0.0;
+  options.dup_factor = 1;  // All distinct: certification is impossible
+                           // without ~full scans.
+  const auto column = MakeZipfColumn(options);
+  ProgressiveOptions progressive;
+  progressive.target_error = 1.2;
+  progressive.max_rows = 5000;
+  const ProgressiveResult result = ProgressiveEstimate(*column, progressive);
+  EXPECT_FALSE(result.certified);
+  EXPECT_EQ(result.sample_rows, 5000);
+}
+
+TEST(ProgressiveEstimateTest, FullScanAlwaysCertifies) {
+  ZipfColumnOptions options;
+  options.rows = 3000;
+  options.z = 0.0;
+  options.dup_factor = 1;
+  const auto column = MakeZipfColumn(options);
+  ProgressiveOptions progressive;
+  progressive.target_error = 1.01;
+  const ProgressiveResult result = ProgressiveEstimate(*column, progressive);
+  EXPECT_TRUE(result.certified);
+  EXPECT_EQ(result.sample_rows, 3000);
+  EXPECT_DOUBLE_EQ(result.bounds.estimate, 3000.0);
+}
+
+TEST(ProgressiveEstimateTest, DeterministicInSeed) {
+  ZipfColumnOptions options;
+  options.rows = 50000;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  const auto column = MakeZipfColumn(options);
+  ProgressiveOptions progressive;
+  progressive.target_error = 2.0;
+  progressive.seed = 5;
+  const ProgressiveResult a = ProgressiveEstimate(*column, progressive);
+  const ProgressiveResult b = ProgressiveEstimate(*column, progressive);
+  EXPECT_EQ(a.sample_rows, b.sample_rows);
+  EXPECT_DOUBLE_EQ(a.bounds.estimate, b.bounds.estimate);
+}
+
+}  // namespace
+}  // namespace ndv

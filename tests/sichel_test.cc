@@ -1,0 +1,103 @@
+#include "estimators/sichel.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/descriptive.h"
+#include "common/random.h"
+#include "datagen/zipf.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+TEST(PoissonInverseGaussianFitTest, RecoversModelGeneratedMoments) {
+  // Construct moments directly from the model: D = 500 classes, mu = 4,
+  // t = 2 (lambda = 2*16/3). Then r = D mu, d = D(1-P0), f1 = D*P1.
+  const double cap = 500.0, mu = 4.0, t = 2.0;
+  const double p0 = std::exp(-2.0 * mu / (t + 1.0));
+  const double p1 = mu * p0 / t;
+  const int64_t r = static_cast<int64_t>(std::llround(cap * mu));
+  const int64_t d = static_cast<int64_t>(std::llround(cap * (1.0 - p0)));
+  const int64_t f1 = static_cast<int64_t>(std::llround(cap * p1));
+  // Build a profile with these (r, d, f1): put the remaining mass on a few
+  // frequencies (the fit only reads r, d, f1).
+  const int64_t repeats = d - f1;
+  const int64_t remaining = r - f1;
+  const int64_t base = remaining / repeats;
+  const int64_t extra = remaining % repeats;
+  std::vector<int64_t> f(static_cast<size_t>(base + 2), 0);
+  f[0] = f1;
+  f[static_cast<size_t>(base - 1)] = repeats - extra;
+  f[static_cast<size_t>(base)] = extra;
+  const SampleSummary summary = MakeSummary(1000000, f);
+
+  const auto fit = FitPoissonInverseGaussian(summary);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->mu, mu, 0.1);
+  EXPECT_NEAR(fit->t, t, 0.15);
+  EXPECT_NEAR(fit->d_hat, cap, 15.0);
+}
+
+TEST(PoissonInverseGaussianFitTest, DegenerateInputsDecline) {
+  // No singletons.
+  EXPECT_FALSE(FitPoissonInverseGaussian(
+                   MakeSummary(1000, std::vector<int64_t>{0, 5}))
+                   .has_value());
+  // All singletons.
+  EXPECT_FALSE(FitPoissonInverseGaussian(
+                   MakeSummary(1000, std::vector<int64_t>{20}))
+                   .has_value());
+}
+
+TEST(SichelTest, FallbacksAreSane) {
+  // f1 == 0 -> d.
+  EXPECT_DOUBLE_EQ(
+      Sichel().Estimate(MakeSummary(1000, std::vector<int64_t>{0, 5})), 5.0);
+  // All singletons -> saturate at the sanity upper bound.
+  EXPECT_DOUBLE_EQ(
+      Sichel().Estimate(MakeSummary(1000, std::vector<int64_t>{20})),
+      1000.0);
+}
+
+TEST(SichelTest, BoundedErrorOnLongTailedData) {
+  // Sichel's parametric model (bibliometric word frequencies) misfits
+  // database-style Zipf-with-duplication columns — exactly the "statistical
+  // estimators perform poorly on DB data" observation that motivates the
+  // paper. The estimate must still be stable and within a moderate factor.
+  ZipfColumnOptions options;
+  options.rows = 100000;
+  options.z = 1.0;
+  options.dup_factor = 10;
+  options.seed = 8;
+  const auto column = MakeZipfColumn(options);
+  const double actual = static_cast<double>(ExactDistinctHashSet(*column));
+  Rng rng(9);
+  RunningStats errors;
+  for (int trial = 0; trial < 5; ++trial) {
+    const SampleSummary summary = SampleColumnFraction(*column, 0.05, rng);
+    errors.Add(RatioError(Sichel().Estimate(summary), actual));
+  }
+  EXPECT_LE(errors.mean(), 12.0);
+}
+
+TEST(SichelTest, SanityBoundsHold) {
+  ZipfColumnOptions options;
+  options.rows = 20000;
+  options.z = 2.0;
+  const auto column = MakeZipfColumn(options);
+  Rng rng(10);
+  for (double fraction : {0.005, 0.05, 0.5}) {
+    const SampleSummary summary =
+        SampleColumnFraction(*column, fraction, rng);
+    const double estimate = Sichel().Estimate(summary);
+    EXPECT_GE(estimate, static_cast<double>(summary.d()));
+    EXPECT_LE(estimate, static_cast<double>(summary.n()));
+  }
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,114 @@
+#include "profile/skew_statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+FrequencyProfile UniformSample(int64_t classes, int64_t each) {
+  FrequencyProfile profile;
+  profile.Add(each, classes);
+  return profile;
+}
+
+TEST(ChiSquaredUniformityTest, ZeroForPerfectlyUniformSample) {
+  // 10 classes each observed 4 times: statistic is exactly 0.
+  EXPECT_DOUBLE_EQ(ChiSquaredUniformityStatistic(UniformSample(10, 4)), 0.0);
+}
+
+TEST(ChiSquaredUniformityTest, MatchesDirectComputation) {
+  // Counts {1, 1, 4}: d=3, r=6, expected 2 per class.
+  // u = (1 + 1 + 4) / 2 = 3.
+  FrequencyProfile profile;
+  profile.Add(1, 2);
+  profile.Add(4, 1);
+  EXPECT_DOUBLE_EQ(ChiSquaredUniformityStatistic(profile), 3.0);
+}
+
+TEST(ChiSquaredUniformityTest, DegenerateProfiles) {
+  EXPECT_DOUBLE_EQ(ChiSquaredUniformityStatistic(FrequencyProfile()), 0.0);
+  FrequencyProfile one_class;
+  one_class.Add(17, 1);
+  EXPECT_DOUBLE_EQ(ChiSquaredUniformityStatistic(one_class), 0.0);
+}
+
+TEST(ChiSquaredUniformityTest, GrowsWithSkew) {
+  FrequencyProfile mild;
+  mild.Add(3, 5);
+  mild.Add(5, 5);
+  FrequencyProfile strong;
+  strong.Add(1, 9);
+  strong.Add(31, 1);
+  EXPECT_LT(ChiSquaredUniformityStatistic(mild),
+            ChiSquaredUniformityStatistic(strong));
+}
+
+TEST(TestSkewTest, UniformSampleIsLowSkew) {
+  const SkewTestResult result = TestSkew(UniformSample(50, 4));
+  EXPECT_FALSE(result.high_skew);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_GT(result.critical_value, 0.0);
+}
+
+TEST(TestSkewTest, HeavyHitterIsHighSkew) {
+  // One class with 1000 occurrences plus 50 singletons.
+  FrequencyProfile profile;
+  profile.Add(1, 50);
+  profile.Add(1000, 1);
+  const SkewTestResult result = TestSkew(profile);
+  EXPECT_TRUE(result.high_skew);
+  EXPECT_GT(result.statistic, result.critical_value);
+}
+
+TEST(TestSkewTest, DegenerateProfileIsLowSkew) {
+  FrequencyProfile one_class;
+  one_class.Add(5, 1);
+  EXPECT_FALSE(TestSkew(one_class).high_skew);
+}
+
+TEST(TestSkewTest, SignificanceShiftsDecision) {
+  // A borderline profile: stricter significance (higher quantile) should
+  // never flag more samples than a looser one.
+  FrequencyProfile profile;
+  profile.Add(2, 20);
+  profile.Add(6, 3);
+  const SkewTestResult loose = TestSkew(profile, 0.5);
+  const SkewTestResult strict = TestSkew(profile, 0.999);
+  EXPECT_LE(strict.high_skew, loose.high_skew);
+  EXPECT_GT(strict.critical_value, loose.critical_value);
+}
+
+TEST(EstimatedSquaredCVTest, ZeroWhenNoRepeats) {
+  // All singletons: pair count 0 and d_hat <= n forces the max(.., 0) arm.
+  const SampleSummary summary = MakeSummary(1000, std::vector<int64_t>{10});
+  EXPECT_DOUBLE_EQ(EstimatedSquaredCV(summary, 100.0), 0.0);
+}
+
+TEST(EstimatedSquaredCVTest, MatchesHandComputation) {
+  // n=100, r=10 (q=0.1), profile f1=2, f3=1, f5=1 -> r=2+3+5=10.
+  // pairs = 3*2*1 + 5*4*1 = 26.
+  // gamma^2 = d_hat/(n^2 q^2) * 26 + d_hat/n - 1 at d_hat=20:
+  //         = 20/100 * 26/1 ... = 20/(10000*0.01)*26 + 0.2 - 1 = 5.2 - 0.8.
+  std::vector<int64_t> f = {2, 0, 1, 0, 1};
+  const SampleSummary summary = MakeSummary(100, f);
+  EXPECT_NEAR(EstimatedSquaredCV(summary, 20.0),
+              20.0 / (100.0 * 100.0 * 0.01) * 26.0 + 0.2 - 1.0, 1e-12);
+}
+
+TEST(EstimatedSquaredCVTest, NeverNegative) {
+  const SampleSummary summary = MakeSummary(50, std::vector<int64_t>{5});
+  EXPECT_GE(EstimatedSquaredCV(summary, 1.0), 0.0);
+}
+
+TEST(EstimatedSquaredCVTest, IncreasesWithHeavyClasses) {
+  std::vector<int64_t> light = {8, 1};            // f1=8, f2=1
+  std::vector<int64_t> heavy(10, 0);
+  heavy[0] = 8;
+  heavy[9] = 1;  // f1=8, f10=1 (hmm: r differs, use same d_hat)
+  const SampleSummary a = MakeSummary(1000, light);
+  const SampleSummary b = MakeSummary(1000, heavy);
+  EXPECT_LT(EstimatedSquaredCV(a, 50.0), EstimatedSquaredCV(b, 50.0));
+}
+
+}  // namespace
+}  // namespace ndv

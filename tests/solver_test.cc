@@ -1,0 +1,94 @@
+#include "common/solver.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+TEST(BisectTest, FindsPolynomialRoot) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const auto result = Bisect(f, 0.0, 2.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->x, std::sqrt(2.0), 1e-8);
+}
+
+TEST(BisectTest, RejectsUnbracketedInterval) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_FALSE(Bisect(f, -10.0, 10.0).has_value());
+}
+
+TEST(BisectTest, RootAtEndpoint) {
+  const auto f = [](double x) { return x; };
+  const auto result = Bisect(f, 0.0, 5.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->x, 0.0, 1e-9);
+}
+
+TEST(BrentTest, FindsTranscendentalRoot) {
+  // x e^x = 1 -> x = W(1) = 0.5671432904...
+  const auto f = [](double x) { return x * std::exp(x) - 1.0; };
+  const auto result = Brent(f, 0.0, 1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->x, 0.56714329040978, 1e-9);
+}
+
+TEST(BrentTest, ConvergesFasterThanBisection) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const auto brent = Brent(f, 0.0, 1.0);
+  const auto bisect = Bisect(f, 0.0, 1.0);
+  ASSERT_TRUE(brent.has_value());
+  ASSERT_TRUE(bisect.has_value());
+  EXPECT_NEAR(brent->x, 0.739085133215, 1e-9);
+  EXPECT_LT(brent->iterations, bisect->iterations);
+}
+
+TEST(BrentTest, RejectsUnbracketedInterval) {
+  const auto f = [](double x) { return std::exp(x); };
+  EXPECT_FALSE(Brent(f, -1.0, 1.0).has_value());
+}
+
+TEST(BrentTest, SteepFunction) {
+  const auto f = [](double x) { return std::pow(x, 9.0) - 0.5; };
+  const auto result = Brent(f, 0.0, 1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->x, std::pow(0.5, 1.0 / 9.0), 1e-8);
+}
+
+TEST(ExpandBracketUpTest, FindsBracket) {
+  const auto f = [](double x) { return x - 1000.0; };
+  const auto bracket = ExpandBracketUp(f, 1.0, 2.0);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_LE(f(bracket->first) * f(bracket->second), 0.0);
+}
+
+TEST(ExpandBracketUpTest, GivesUpOnRootlessFunction) {
+  const auto f = [](double x) { return -1.0 - x * 0.0; };
+  EXPECT_FALSE(ExpandBracketUp(f, 1.0, 2.0, 2.0, 20).has_value());
+}
+
+TEST(ExpandBracketUpTest, AlreadyBracketed) {
+  const auto f = [](double x) { return x - 1.5; };
+  const auto bracket = ExpandBracketUp(f, 1.0, 2.0);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_DOUBLE_EQ(bracket->first, 1.0);
+  EXPECT_DOUBLE_EQ(bracket->second, 2.0);
+}
+
+TEST(RootOptionsTest, TightToleranceReached) {
+  RootOptions options;
+  options.x_tolerance = 1e-14;
+  options.f_tolerance = 0.0;
+  const auto f = [](double x) { return x * x * x - 8.0; };
+  const auto result = Brent(f, 0.0, 10.0, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->x, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ndv

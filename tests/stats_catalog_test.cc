@@ -1,0 +1,137 @@
+#include "catalog/stats_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/real_world_like.h"
+#include "datagen/zipf.h"
+
+namespace ndv {
+namespace {
+
+ColumnStats MakeStats(std::string name, double estimate = 100.0) {
+  ColumnStats stats;
+  stats.column_name = std::move(name);
+  stats.table_rows = 10000;
+  stats.sample_rows = 100;
+  stats.sample_distinct = 80;
+  stats.estimate = estimate;
+  stats.lower = 80.0;
+  stats.upper = 8000.0;
+  stats.method = "AE";
+  return stats;
+}
+
+TEST(StatsCatalogTest, PutAndFind) {
+  StatsCatalog catalog;
+  catalog.Put(MakeStats("a"));
+  catalog.Put(MakeStats("b", 55.0));
+  ASSERT_NE(catalog.Find("a"), nullptr);
+  ASSERT_NE(catalog.Find("b"), nullptr);
+  EXPECT_EQ(catalog.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(catalog.Find("b")->estimate, 55.0);
+}
+
+TEST(StatsCatalogTest, PutReplacesExistingEntry) {
+  StatsCatalog catalog;
+  catalog.Put(MakeStats("col", 10.0));
+  catalog.Put(MakeStats("col", 20.0));
+  EXPECT_EQ(catalog.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(catalog.Find("col")->estimate, 20.0);
+}
+
+TEST(StatsCatalogTest, SelectivityIsInverseEstimate) {
+  EXPECT_DOUBLE_EQ(MakeStats("x", 250.0).EstimatedSelectivity(), 1.0 / 250.0);
+  EXPECT_DOUBLE_EQ(MakeStats("x", 0.0).EstimatedSelectivity(), 1.0);
+}
+
+TEST(StatsCatalogTest, SerializationRoundTrips) {
+  StatsCatalog catalog;
+  catalog.Put(MakeStats("plain"));
+  catalog.Put(MakeStats("with|pipe", 3.25));
+  catalog.Put(MakeStats("with%percent\nand newline", 1e-9));
+  const std::string text = catalog.Serialize();
+  const auto parsed = StatsCatalog::Deserialize(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->entries().size(), 3u);
+  ASSERT_NE(parsed->Find("with|pipe"), nullptr);
+  EXPECT_DOUBLE_EQ(parsed->Find("with|pipe")->estimate, 3.25);
+  ASSERT_NE(parsed->Find("with%percent\nand newline"), nullptr);
+  EXPECT_DOUBLE_EQ(parsed->Find("with%percent\nand newline")->estimate, 1e-9);
+  EXPECT_EQ(parsed->Find("plain")->method, "AE");
+  EXPECT_EQ(parsed->Find("plain")->table_rows, 10000);
+}
+
+TEST(StatsCatalogTest, DeserializeRejectsMalformedInput) {
+  EXPECT_FALSE(StatsCatalog::Deserialize("").has_value());
+  EXPECT_FALSE(StatsCatalog::Deserialize("wrong-header\n").has_value());
+  EXPECT_FALSE(
+      StatsCatalog::Deserialize("ndv-stats-v1\ntoo|few|fields\n").has_value());
+  EXPECT_FALSE(StatsCatalog::Deserialize(
+                   "ndv-stats-v1\nname|x|100|80|1.0|1.0|2.0|AE\n")
+                   .has_value());
+  EXPECT_FALSE(StatsCatalog::Deserialize(
+                   "ndv-stats-v1\nbad%zzescape|1|1|1|1|1|1|AE\n")
+                   .has_value());
+}
+
+TEST(StatsCatalogTest, EmptyCatalogSerializes) {
+  const auto parsed = StatsCatalog::Deserialize(StatsCatalog().Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(AnalyzeTableTest, ProducesOneEntryPerColumn) {
+  const Table census = MakeCensusLikeScaled(5000);
+  AnalyzeOptions options;
+  options.sample_fraction = 0.05;
+  const StatsCatalog catalog = AnalyzeTable(census, options);
+  EXPECT_EQ(catalog.entries().size(), 15u);
+  const ColumnStats* sex = catalog.Find("sex");
+  ASSERT_NE(sex, nullptr);
+  EXPECT_EQ(sex->table_rows, 5000);
+  EXPECT_NEAR(sex->estimate, 2.0, 0.5);
+  EXPECT_LE(sex->lower, sex->estimate);
+  EXPECT_GE(sex->upper, sex->estimate);
+  EXPECT_EQ(sex->method, "AE");
+}
+
+TEST(AnalyzeTableTest, BoundsBracketTruthOnEveryColumn) {
+  const Table census = MakeCensusLikeScaled(20000);
+  AnalyzeOptions options;
+  options.sample_fraction = 0.05;
+  options.seed = 77;
+  const StatsCatalog catalog = AnalyzeTable(census, options);
+  for (int64_t c = 0; c < census.NumColumns(); ++c) {
+    const double actual =
+        static_cast<double>(ExactDistinctHashSet(census.column(c)));
+    const ColumnStats* stats = catalog.Find(census.column_name(c));
+    ASSERT_NE(stats, nullptr);
+    EXPECT_LE(stats->lower, actual) << stats->column_name;
+    EXPECT_GE(stats->upper, actual) << stats->column_name;
+  }
+}
+
+TEST(AnalyzeTableTest, CatalogRoundTripsThroughText) {
+  const Table census = MakeCensusLikeScaled(2000);
+  const StatsCatalog catalog = AnalyzeTable(census, {});
+  const auto parsed = StatsCatalog::Deserialize(catalog.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->entries().size(), catalog.entries().size());
+  for (const ColumnStats& stats : catalog.entries()) {
+    const ColumnStats* roundtripped = parsed->Find(stats.column_name);
+    ASSERT_NE(roundtripped, nullptr);
+    EXPECT_DOUBLE_EQ(roundtripped->estimate, stats.estimate);
+    EXPECT_DOUBLE_EQ(roundtripped->upper, stats.upper);
+    EXPECT_EQ(roundtripped->sample_rows, stats.sample_rows);
+  }
+}
+
+TEST(AnalyzeTableTest, UnknownEstimatorAborts) {
+  const Table census = MakeCensusLikeScaled(100);
+  AnalyzeOptions options;
+  options.estimator = "NotReal";
+  EXPECT_DEATH(AnalyzeTable(census, options), "unknown estimator");
+}
+
+}  // namespace
+}  // namespace ndv

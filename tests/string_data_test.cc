@@ -1,0 +1,102 @@
+#include "datagen/string_data.h"
+
+#include <regex>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/gee.h"
+#include "table/column_sampling.h"
+#include "table/table.h"
+
+namespace ndv {
+namespace {
+
+TEST(MakeStringTest, ShapesLookRight) {
+  Rng rng(1);
+  const std::string word = MakeString(StringShape::kWords, rng);
+  EXPECT_TRUE(std::regex_match(word, std::regex("[a-z]{4,8}"))) << word;
+
+  const std::string email = MakeString(StringShape::kEmails, rng);
+  EXPECT_TRUE(std::regex_match(
+      email, std::regex("[a-z]+[0-9]+@[a-z]+\\.(com|org|net|io|dev)")))
+      << email;
+
+  const std::string url = MakeString(StringShape::kUrls, rng);
+  EXPECT_TRUE(std::regex_match(
+      url, std::regex("https://[a-z]+\\.(com|org|net|io|dev)/[a-z]+/[a-z]+")))
+      << url;
+
+  const std::string uuid = MakeString(StringShape::kUuids, rng);
+  EXPECT_TRUE(std::regex_match(
+      uuid,
+      std::regex("[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-"
+                 "[0-9a-f]{12}")))
+      << uuid;
+}
+
+TEST(MakeStringColumnTest, ExactDomainSize) {
+  StringColumnOptions options;
+  options.rows = 50000;
+  options.distinct = 500;
+  options.z = 0.0;
+  const auto column = MakeStringColumn(options);
+  EXPECT_EQ(column->size(), 50000);
+  EXPECT_EQ(column->dictionary_size(), 500);
+  // Uniform draws at 100 rows/value: every value present.
+  EXPECT_EQ(ExactDistinctHashSet(*column), 500);
+}
+
+TEST(MakeStringColumnTest, ZipfSkewConcentratesMass) {
+  StringColumnOptions options;
+  options.rows = 20000;
+  options.distinct = 1000;
+  options.z = 2.0;
+  const auto column = MakeStringColumn(options);
+  // Heavy skew: far fewer realized values than the domain.
+  const int64_t realized = ExactDistinctHashSet(*column);
+  EXPECT_LT(realized, 400);
+  EXPECT_GE(realized, 10);
+}
+
+TEST(MakeStringColumnTest, DeterministicInSeed) {
+  StringColumnOptions options;
+  options.rows = 100;
+  options.distinct = 20;
+  options.seed = 9;
+  const auto a = MakeStringColumn(options);
+  const auto b = MakeStringColumn(options);
+  for (int64_t row = 0; row < 100; ++row) {
+    EXPECT_EQ(a->HashAt(row), b->HashAt(row));
+  }
+  EXPECT_EQ(a->ValueToString(7), b->ValueToString(7));
+}
+
+TEST(MakeStringColumnTest, EstimatorsWorkOnStringColumns) {
+  // End to end: the whole estimation stack is type-agnostic.
+  StringColumnOptions options;
+  options.rows = 100000;
+  options.distinct = 2000;
+  options.z = 1.0;
+  options.shape = StringShape::kEmails;
+  const auto column = MakeStringColumn(options);
+  const double actual = static_cast<double>(ExactDistinctHashSet(*column));
+  Rng rng(5);
+  const SampleSummary summary = SampleColumnFraction(*column, 0.05, rng);
+  const GeeBounds bounds = ComputeGeeBounds(summary);
+  EXPECT_LE(bounds.lower, actual);
+  EXPECT_GE(bounds.upper, actual);
+}
+
+TEST(MakeStringColumnTest, UuidDomainsAreCollisionFree) {
+  StringColumnOptions options;
+  options.rows = 1000;
+  options.distinct = 1000;
+  options.z = 0.0;
+  options.shape = StringShape::kUuids;
+  const auto column = MakeStringColumn(options);
+  EXPECT_EQ(column->dictionary_size(), 1000);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,98 @@
+#include "table/table.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+TEST(Int64ColumnTest, HashEqualityMirrorsValueEquality) {
+  Int64Column column({1, 2, 1, 3});
+  EXPECT_EQ(column.size(), 4);
+  EXPECT_EQ(column.HashAt(0), column.HashAt(2));
+  EXPECT_NE(column.HashAt(0), column.HashAt(1));
+  EXPECT_EQ(column.type(), ColumnType::kInt64);
+  EXPECT_EQ(column.ValueToString(3), "3");
+}
+
+TEST(DoubleColumnTest, NegativeZeroCanonicalized) {
+  DoubleColumn column({0.0, -0.0, 1.5});
+  EXPECT_EQ(column.HashAt(0), column.HashAt(1));
+  EXPECT_NE(column.HashAt(0), column.HashAt(2));
+}
+
+TEST(DoubleColumnTest, NansCollapseToOneClass) {
+  const double nan1 = std::nan("1");
+  const double nan2 = std::nan("2");
+  DoubleColumn column({nan1, nan2});
+  EXPECT_EQ(column.HashAt(0), column.HashAt(1));
+}
+
+TEST(StringColumnTest, DictionaryDedupes) {
+  StringColumn column(std::vector<std::string>{"a", "b", "a", "c", "b"});
+  EXPECT_EQ(column.size(), 5);
+  EXPECT_EQ(column.dictionary_size(), 3);
+  EXPECT_EQ(column.HashAt(0), column.HashAt(2));
+  EXPECT_NE(column.HashAt(0), column.HashAt(1));
+  EXPECT_EQ(column.ValueToString(3), "c");
+}
+
+TEST(StringColumnTest, PrebuiltDictionary) {
+  StringColumn column({"x", "y"}, {0, 1, 1, 0});
+  EXPECT_EQ(column.size(), 4);
+  EXPECT_EQ(column.HashAt(0), column.HashAt(3));
+  EXPECT_EQ(column.ValueToString(1), "y");
+}
+
+TEST(StringColumnTest, RejectsOutOfRangeCodes) {
+  EXPECT_DEATH(StringColumn({"only"}, {0, 1}), "code");
+}
+
+TEST(HashBytesTest, DistinctStringsDistinctHashes) {
+  EXPECT_NE(HashBytes("alpha"), HashBytes("beta"));
+  EXPECT_EQ(HashBytes("gamma"), HashBytes("gamma"));
+  EXPECT_NE(HashBytes(""), HashBytes(std::string_view("\0", 1)));
+}
+
+TEST(TableTest, AddColumnsAndLookup) {
+  Table table;
+  table.AddColumn("a", std::make_unique<Int64Column>(std::vector<int64_t>{1, 2}));
+  table.AddColumn("b", std::make_unique<DoubleColumn>(std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(table.NumRows(), 2);
+  EXPECT_EQ(table.NumColumns(), 2);
+  EXPECT_EQ(table.FindColumn("b"), 1);
+  EXPECT_EQ(table.FindColumn("missing"), -1);
+  EXPECT_EQ(table.column_name(0), "a");
+  EXPECT_EQ(table.column(0).size(), 2);
+}
+
+TEST(TableTest, RejectsRaggedColumns) {
+  Table table;
+  table.AddColumn("a", std::make_unique<Int64Column>(std::vector<int64_t>{1, 2}));
+  EXPECT_DEATH(
+      table.AddColumn("b", std::make_unique<Int64Column>(
+                               std::vector<int64_t>{1, 2, 3})),
+      "rows");
+}
+
+TEST(ExactDistinctTest, BothCountersAgree) {
+  Int64Column column({5, 5, 7, 9, 9, 9, 11});
+  EXPECT_EQ(ExactDistinctHashSet(column), 4);
+  EXPECT_EQ(ExactDistinctSorted(column), 4);
+}
+
+TEST(ExactDistinctTest, AllSameAndAllDistinct) {
+  Int64Column same(std::vector<int64_t>(100, 42));
+  EXPECT_EQ(ExactDistinctHashSet(same), 1);
+  std::vector<int64_t> distinct(100);
+  for (int64_t i = 0; i < 100; ++i) distinct[static_cast<size_t>(i)] = i;
+  Int64Column unique_col(distinct);
+  EXPECT_EQ(ExactDistinctHashSet(unique_col), 100);
+  EXPECT_EQ(ExactDistinctSorted(unique_col), 100);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ndv {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.Wait();  // Must not hang.
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  ParallelFor(500, 8, [&hits](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, InlineWhenSingleThreaded) {
+  // With one thread the order is sequential.
+  std::vector<int64_t> order;
+  ParallelFor(10, 1, [&order](int64_t i) { order.push_back(i); });
+  std::vector<int64_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&called](int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ResultsMatchSerialExecution) {
+  // Sum of squares computed in parallel equals the serial result.
+  std::vector<int64_t> results(1000, 0);
+  ParallelFor(1000, 8, [&results](int64_t i) { results[static_cast<size_t>(i)] = i * i; });
+  int64_t total = std::accumulate(results.begin(), results.end(), int64_t{0});
+  int64_t expected = 0;
+  for (int64_t i = 0; i < 1000; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(DefaultThreadCountTest, Positive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+  EXPECT_LE(DefaultThreadCount(), 16);
+}
+
+}  // namespace
+}  // namespace ndv

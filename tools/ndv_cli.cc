@@ -1,0 +1,282 @@
+// ndv_cli — command-line front end for the library.
+//
+// Subcommands:
+//   generate   synthesize a dataset and write it as CSV
+//   estimate   sample one column of a CSV file and run estimators
+//   analyze    build a statistics catalog for every column of a CSV file
+//   sketch     full-scan probabilistic counting over one column
+//   lowerbound evaluate the Theorem 1 bound for given n, r, gamma
+//
+// Examples:
+//   ndv_cli generate --kind=zipf --rows=100000 --z=1 --dup=10 --out=data.csv
+//   ndv_cli estimate --in=data.csv --column=value --fraction=0.01
+//   ndv_cli analyze --in=data.csv --fraction=0.05 --out=stats.ndv
+//   ndv_cli sketch --in=data.csv --column=value
+//   ndv_cli lowerbound --n=1000000 --r=10000 --gamma=0.5
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "catalog/stats_catalog.h"
+#include "core/all_estimators.h"
+#include "core/bootstrap_interval.h"
+#include "core/gee.h"
+#include "core/lower_bound.h"
+#include "datagen/real_world_like.h"
+#include "datagen/zipf.h"
+#include "harness/report.h"
+#include "sketch/exact_counter.h"
+#include "table/column_sampling.h"
+#include "table/csv.h"
+
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "true";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string GetFlag(const Flags& flags, const std::string& name,
+                    const std::string& default_value) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? default_value : it->second;
+}
+
+double GetDouble(const Flags& flags, const std::string& name,
+                 double default_value) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? default_value : std::stod(it->second);
+}
+
+int64_t GetInt(const Flags& flags, const std::string& name,
+               int64_t default_value) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? default_value : std::stoll(it->second);
+}
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(1);
+}
+
+ndv::Table LoadCsvTable(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) Fail("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto table = ndv::ReadCsvInferred(buffer.str());
+  if (!table.has_value()) Fail("malformed CSV in " + path);
+  return std::move(*table);
+}
+
+const ndv::Column& FindColumnOrDie(const ndv::Table& table,
+                                   const std::string& name) {
+  const int64_t index = table.FindColumn(name);
+  if (index < 0) Fail("no column named '" + name + "'");
+  return table.column(index);
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string kind = GetFlag(flags, "kind", "zipf");
+  const std::string out_path = GetFlag(flags, "out", "");
+  if (out_path.empty()) Fail("--out is required");
+
+  ndv::Table table;
+  if (kind == "zipf") {
+    ndv::ZipfColumnOptions options;
+    options.rows = GetInt(flags, "rows", 100000);
+    options.z = GetDouble(flags, "z", 1.0);
+    options.dup_factor = GetInt(flags, "dup", 1);
+    options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 42));
+    table.AddColumn("value", ndv::MakeZipfColumn(options));
+  } else if (kind == "census") {
+    table = ndv::MakeCensusLikeScaled(GetInt(flags, "rows", 32561),
+                                      static_cast<uint64_t>(GetInt(flags, "seed", 101)));
+  } else if (kind == "covertype") {
+    table = ndv::MakeCoverTypeLikeScaled(
+        GetInt(flags, "rows", 581012),
+        static_cast<uint64_t>(GetInt(flags, "seed", 202)));
+  } else if (kind == "mssales") {
+    table = ndv::MakeMSSalesLikeScaled(
+        GetInt(flags, "rows", 1996290),
+        static_cast<uint64_t>(GetInt(flags, "seed", 303)));
+  } else {
+    Fail("unknown --kind (use zipf|census|covertype|mssales)");
+  }
+
+  std::ofstream out(out_path);
+  if (!out) Fail("cannot write " + out_path);
+  ndv::WriteCsv(table, out);
+  std::printf("wrote %lld rows x %lld columns to %s\n",
+              static_cast<long long>(table.NumRows()),
+              static_cast<long long>(table.NumColumns()), out_path.c_str());
+  return 0;
+}
+
+int CmdEstimate(const Flags& flags) {
+  const std::string in_path = GetFlag(flags, "in", "");
+  if (in_path.empty()) Fail("--in is required");
+  const ndv::Table table = LoadCsvTable(in_path);
+  const std::string column_name =
+      GetFlag(flags, "column", table.column_name(0));
+  const ndv::Column& column = FindColumnOrDie(table, column_name);
+  const double fraction = GetDouble(flags, "fraction", 0.01);
+  const std::string which = GetFlag(flags, "estimator", "paper");
+  const bool bootstrap = GetFlag(flags, "bootstrap", "false") == "true";
+
+  ndv::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
+  const ndv::SampleSummary sample =
+      ndv::SampleColumnFraction(column, fraction, rng);
+  const ndv::GeeBounds bounds = ndv::ComputeGeeBounds(sample);
+
+  std::printf("column '%s': n=%lld, sampled r=%lld, d=%lld, f1=%lld\n",
+              column_name.c_str(), static_cast<long long>(sample.n()),
+              static_cast<long long>(sample.r()),
+              static_cast<long long>(sample.d()),
+              static_cast<long long>(sample.f(1)));
+  std::printf("GEE interval: [%.0f, %.0f]\n", bounds.lower, bounds.upper);
+
+  std::vector<std::unique_ptr<ndv::Estimator>> estimators;
+  if (which == "paper") {
+    estimators = ndv::MakePaperComparisonEstimators();
+  } else if (which == "all") {
+    estimators = ndv::MakeAllEstimators();
+  } else {
+    auto one = ndv::MakeEstimatorByName(which);
+    if (one == nullptr) Fail("unknown estimator '" + which + "'");
+    estimators.push_back(std::move(one));
+  }
+
+  ndv::TextTable result(bootstrap
+                            ? std::vector<std::string>{"estimator", "estimate",
+                                                       "boot lower",
+                                                       "boot upper"}
+                            : std::vector<std::string>{"estimator",
+                                                       "estimate"});
+  for (const auto& estimator : estimators) {
+    std::vector<std::string> row = {std::string(estimator->name()),
+                                    ndv::FormatDouble(
+                                        estimator->Estimate(sample), 1)};
+    if (bootstrap) {
+      ndv::BootstrapOptions boot;
+      boot.replicates = GetInt(flags, "replicates", 200);
+      const ndv::BootstrapInterval interval =
+          ndv::ComputeBootstrapInterval(*estimator, sample, boot);
+      row.push_back(ndv::FormatDouble(interval.lower, 1));
+      row.push_back(ndv::FormatDouble(interval.upper, 1));
+    }
+    result.AddRow(std::move(row));
+  }
+  result.Print(std::cout);
+  return 0;
+}
+
+int CmdAnalyze(const Flags& flags) {
+  const std::string in_path = GetFlag(flags, "in", "");
+  if (in_path.empty()) Fail("--in is required");
+  const ndv::Table table = LoadCsvTable(in_path);
+  ndv::AnalyzeOptions options;
+  options.sample_fraction = GetDouble(flags, "fraction", 0.01);
+  options.estimator = GetFlag(flags, "estimator", "AE");
+  options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  const ndv::StatsCatalog catalog = ndv::AnalyzeTable(table, options);
+
+  ndv::TextTable result({"column", "estimate", "LOWER", "UPPER", "sampled"});
+  for (const ndv::ColumnStats& stats : catalog.entries()) {
+    result.AddRow({stats.column_name, ndv::FormatDouble(stats.estimate, 1),
+                   ndv::FormatDouble(stats.lower, 1),
+                   ndv::FormatDouble(stats.upper, 1),
+                   std::to_string(stats.sample_rows)});
+  }
+  result.Print(std::cout);
+
+  const std::string out_path = GetFlag(flags, "out", "");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) Fail("cannot write " + out_path);
+    out << catalog.Serialize();
+    std::printf("catalog written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdSketch(const Flags& flags) {
+  const std::string in_path = GetFlag(flags, "in", "");
+  if (in_path.empty()) Fail("--in is required");
+  const ndv::Table table = LoadCsvTable(in_path);
+  const std::string column_name =
+      GetFlag(flags, "column", table.column_name(0));
+  const ndv::Column& column = FindColumnOrDie(table, column_name);
+
+  ndv::TextTable result({"counter", "estimate", "memory (bytes)"});
+  for (auto& counter : ndv::MakeAllDistinctCounters()) {
+    for (int64_t row = 0; row < column.size(); ++row) {
+      counter->Add(column.HashAt(row));
+    }
+    result.AddRow({std::string(counter->name()),
+                   ndv::FormatDouble(counter->Estimate(), 1),
+                   std::to_string(counter->MemoryBytes())});
+  }
+  result.Print(std::cout);
+  return 0;
+}
+
+int CmdLowerBound(const Flags& flags) {
+  const int64_t n = GetInt(flags, "n", 1000000);
+  const int64_t r = GetInt(flags, "r", 10000);
+  const double gamma = GetDouble(flags, "gamma", 0.5);
+  std::printf("n=%lld r=%lld gamma=%.3f\n", static_cast<long long>(n),
+              static_cast<long long>(r), gamma);
+  std::printf("Theorem 1: any estimator errs by >= %.3f with probability "
+              ">= %.3f on some input\n",
+              ndv::TheoremOneErrorBound(n, r, gamma), gamma);
+  std::printf("GEE guarantee (Theorem 2): expected error <= %.3f\n",
+              ndv::GeeExpectedErrorBound(n, r));
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: ndv_cli <generate|estimate|analyze|sketch|lowerbound> "
+               "[--flag=value ...]\nsee the header of tools/ndv_cli.cc for "
+               "examples\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "estimate") return CmdEstimate(flags);
+  if (command == "analyze") return CmdAnalyze(flags);
+  if (command == "sketch") return CmdSketch(flags);
+  if (command == "lowerbound") return CmdLowerBound(flags);
+  PrintUsage();
+  return 2;
+}
