@@ -3,12 +3,14 @@
 
 // Shared setup for the paper-reproduction experiment binaries.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/all_estimators.h"
 #include "datagen/zipf.h"
 #include "harness/figures.h"
@@ -53,6 +55,33 @@ inline double MeanError(const EstimatorAggregate& a) {
 
 inline double StdDevFraction(const EstimatorAggregate& a) {
   return a.stddev_fraction;
+}
+
+// Wall-clock stopwatch for figure-level timing lines.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Prints the per-estimator timing grid for a finished figure plus the
+// figure's total wall-clock and the worker count that produced it.
+inline void PrintFigureTiming(std::ostream& out, const std::string& title,
+                              const std::vector<EstimatorAggregate>& results,
+                              const std::vector<std::string>& labels,
+                              const std::string& row_header,
+                              const WallTimer& timer) {
+  PrintBanner(out, title + " — timing");
+  MakeTimingTable(results, labels, row_header).Print(out);
+  out << "figure wall-clock: " << FormatDouble(timer.ElapsedMs(), 1)
+      << " ms (threads=" << DefaultThreadCount() << ")\n";
 }
 
 }  // namespace ndv::bench

@@ -4,6 +4,10 @@
 // Expected shape (paper): HYBGEE <= HYBSKEW everywhere; AE best at the low
 // rate with error very close to 1; at 6.4% every estimator is near 1 and
 // GEE/HYBGEE have extremely small errors.
+//
+// Each skew point (generate 1M-row column + run sweep) is one ParallelFor
+// task; per-point seeds are fixed, so output is identical to the serial
+// loop at any thread count.
 
 #include "bench_util.h"
 
@@ -13,22 +17,29 @@ void RunFigure(const char* title, double fraction) {
   using namespace ndv;
   const std::vector<double> skews = {0.0, 1.0, 2.0, 3.0, 4.0};
   const auto estimators = MakePaperComparisonEstimators();
+  const bench::WallTimer timer;
+  std::vector<std::vector<EstimatorAggregate>> per_point(skews.size());
+  std::vector<std::string> labels(skews.size());
+  ParallelFor(static_cast<int64_t>(skews.size()), DefaultThreadCount(),
+              [&](int64_t i) {
+                const double z = skews[static_cast<size_t>(i)];
+                const auto column = bench::PaperColumn(1000000, z, 100);
+                const int64_t actual = ExactDistinctHashSet(*column);
+                labels[static_cast<size_t>(i)] =
+                    "Z=" + FormatDouble(z, 0) + " (D=" +
+                    std::to_string(actual) + ")";
+                per_point[static_cast<size_t>(i)] =
+                    RunSweep(*column, actual, {fraction}, estimators,
+                             bench::PaperRunOptions(/*seed=*/5));
+              });
   std::vector<EstimatorAggregate> results;
-  std::vector<std::string> labels;
-  for (double z : skews) {
-    const auto column = bench::PaperColumn(1000000, z, 100);
-    const int64_t actual = ExactDistinctHashSet(*column);
-    labels.push_back("Z=" + FormatDouble(z, 0) +
-                     " (D=" + std::to_string(actual) + ")");
-    for (const auto& aggregate :
-         RunSweep(*column, actual, {fraction}, estimators,
-                  bench::PaperRunOptions(/*seed=*/5))) {
-      results.push_back(aggregate);
-    }
+  for (auto& block : per_point) {
+    for (auto& aggregate : block) results.push_back(std::move(aggregate));
   }
   const TextTable table =
       MakeFigureTable(results, labels, "skew", bench::MeanError);
   PrintFigure(std::cout, title, table);
+  bench::PrintFigureTiming(std::cout, title, results, labels, "skew", timer);
 }
 
 }  // namespace

@@ -9,58 +9,86 @@
 // Unbounded-domain (Fig. 10): Z=2 with duplication factor 100 and a fixed
 // 1.6% sampling RATE; D grows with n. Expected shape: flat for everything
 // except HYBVAR, which jumps when its gamma^2 selector switches branches.
+//
+// The scale points are independent, so each (generate column, run sweep)
+// unit is one ParallelFor task; per-point seeds are fixed, so the output is
+// identical to the historical serial loop at any thread count.
 
 #include "bench_util.h"
 
 namespace {
 
-void RunBounded() {
-  using namespace ndv;
-  const auto estimators = MakePaperComparisonEstimators();
+using namespace ndv;
+
+// Runs one scale point per worker and flattens the per-point blocks back
+// into sweep order. `point` maps an n value to (label, sweep results).
+template <typename PointFn>
+std::vector<EstimatorAggregate> RunScalePoints(
+    const std::vector<int64_t>& ns, std::vector<std::string>& labels,
+    const PointFn& point) {
+  std::vector<std::vector<EstimatorAggregate>> per_point(ns.size());
+  labels.assign(ns.size(), "");
+  ParallelFor(static_cast<int64_t>(ns.size()), DefaultThreadCount(),
+              [&](int64_t i) {
+                const size_t index = static_cast<size_t>(i);
+                per_point[index] = point(ns[index], &labels[index]);
+              });
   std::vector<EstimatorAggregate> results;
-  std::vector<std::string> labels;
-  for (int64_t n = 100000; n <= 1000000; n += 100000) {
-    // Base of 1000 Zipf rows; every value copied n/1000 times.
-    const auto column = bench::PaperColumn(n, 2.0, n / 1000);
-    const int64_t actual = ExactDistinctHashSet(*column);
-    labels.push_back(std::to_string(n / 1000) + "K rows");
-    const double fraction = 10000.0 / static_cast<double>(n);
-    for (const auto& aggregate :
-         RunSweep(*column, actual, {fraction}, estimators,
-                  bench::PaperRunOptions(/*seed=*/9))) {
-      results.push_back(aggregate);
-    }
+  for (auto& block : per_point) {
+    for (auto& aggregate : block) results.push_back(std::move(aggregate));
   }
+  return results;
+}
+
+std::vector<int64_t> ScaleNs() {
+  std::vector<int64_t> ns;
+  for (int64_t n = 100000; n <= 1000000; n += 100000) ns.push_back(n);
+  return ns;
+}
+
+void RunBounded() {
+  const auto estimators = MakePaperComparisonEstimators();
+  const bench::WallTimer timer;
+  std::vector<std::string> labels;
+  const auto results = RunScalePoints(
+      ScaleNs(), labels,
+      [&estimators](int64_t n, std::string* label) {
+        // Base of 1000 Zipf rows; every value copied n/1000 times.
+        const auto column = bench::PaperColumn(n, 2.0, n / 1000);
+        const int64_t actual = ExactDistinctHashSet(*column);
+        *label = std::to_string(n / 1000) + "K rows";
+        const double fraction = 10000.0 / static_cast<double>(n);
+        return RunSweep(*column, actual, {fraction}, estimators,
+                        bench::PaperRunOptions(/*seed=*/9));
+      });
   const TextTable table = MakeFigureTable(results, labels, "n",
                                           bench::MeanError);
-  PrintFigure(std::cout,
-              "Figure 9: bounded-domain scaleup (fixed D, fixed 10K-row "
-              "sample)",
-              table);
+  const std::string title =
+      "Figure 9: bounded-domain scaleup (fixed D, fixed 10K-row sample)";
+  PrintFigure(std::cout, title, table);
+  bench::PrintFigureTiming(std::cout, title, results, labels, "n", timer);
 }
 
 void RunUnbounded() {
-  using namespace ndv;
   const auto estimators = MakePaperComparisonEstimators();
-  std::vector<EstimatorAggregate> results;
+  const bench::WallTimer timer;
   std::vector<std::string> labels;
-  for (int64_t n = 100000; n <= 1000000; n += 100000) {
-    const auto column = bench::PaperColumn(n, 2.0, 100);
-    const int64_t actual = ExactDistinctHashSet(*column);
-    labels.push_back(std::to_string(n / 1000) + "K rows (D=" +
-                     std::to_string(actual) + ")");
-    for (const auto& aggregate :
-         RunSweep(*column, actual, {0.016}, estimators,
-                  bench::PaperRunOptions(/*seed=*/10))) {
-      results.push_back(aggregate);
-    }
-  }
+  const auto results = RunScalePoints(
+      ScaleNs(), labels,
+      [&estimators](int64_t n, std::string* label) {
+        const auto column = bench::PaperColumn(n, 2.0, 100);
+        const int64_t actual = ExactDistinctHashSet(*column);
+        *label = std::to_string(n / 1000) + "K rows (D=" +
+                 std::to_string(actual) + ")";
+        return RunSweep(*column, actual, {0.016}, estimators,
+                        bench::PaperRunOptions(/*seed=*/10));
+      });
   const TextTable table =
       MakeFigureTable(results, labels, "n", bench::MeanError);
-  PrintFigure(std::cout,
-              "Figure 10: unbounded-domain scaleup (D grows with n, 1.6% "
-              "sample)",
-              table);
+  const std::string title =
+      "Figure 10: unbounded-domain scaleup (D grows with n, 1.6% sample)";
+  PrintFigure(std::cout, title, table);
+  bench::PrintFigureTiming(std::cout, title, results, labels, "n", timer);
 }
 
 }  // namespace

@@ -163,7 +163,8 @@ StatsCatalog AnalyzeTable(const Table& table, const AnalyzeOptions& options) {
 
   std::vector<ColumnStats> per_column(
       static_cast<size_t>(table.NumColumns()));
-  ParallelFor(table.NumColumns(), options.threads, [&](int64_t c) {
+  ParallelFor(table.NumColumns(), ResolveThreadCount(options.threads),
+              [&](int64_t c) {
     const SampleSummary sample = SampleColumnFraction(
         table.column(c), options.sample_fraction,
         column_rngs[static_cast<size_t>(c)]);

@@ -42,9 +42,11 @@ struct AnalyzeOptions {
   // Estimator used for the point estimate ("AE" by default; the GEE bounds
   // are always recorded alongside).
   std::string estimator = "AE";
-  // Worker threads (columns are analyzed independently). Results are
-  // identical regardless of thread count.
-  int threads = 1;
+  // Worker threads (columns are analyzed independently). 0 = auto
+  // (DefaultThreadCount(), which honors NDV_THREADS); 1 = run inline.
+  // Per-column RNGs are pre-forked sequentially from `seed`, so results
+  // are identical regardless of thread count.
+  int threads = 0;
 };
 
 class StatsCatalog {

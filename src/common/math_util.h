@@ -13,8 +13,18 @@ namespace ndv {
 // naive evaluation in double loses all precision, so everything funnels
 // through log-space forms here.
 
-// ln Gamma(x) for x > 0.
-inline double LogGamma(double x) { return std::lgamma(x); }
+// ln Gamma(x) for x > 0. std::lgamma writes the process-global `signgam`,
+// which is a data race when estimators run on pool workers; use the
+// reentrant variant where available (glibc/musl/BSD).
+inline double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__FreeBSD__) || \
+    defined(__musl__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 // ln(n!) for n >= 0.
 double LogFactorial(int64_t n);

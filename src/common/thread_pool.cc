@@ -1,10 +1,20 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/check.h"
 
 namespace ndv {
+namespace {
+
+// Set for the lifetime of every worker thread of every pool; lets nested
+// ParallelFor calls detect they are already on a worker and run inline.
+thread_local bool tls_on_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   NDV_CHECK(num_threads >= 1);
@@ -35,11 +45,20 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;  // Leave the pool reusable.
+  }
+  if (error) std::rethrow_exception(error);
 }
 
+bool ThreadPool::OnWorkerThread() { return tls_on_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  tls_on_pool_worker = true;
   while (true) {
     std::function<void()> task;
     {
@@ -53,34 +72,106 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing task must neither escape the worker (std::terminate) nor
+    // skip the in_flight_ decrement (Wait() would deadlock). Capture the
+    // exception and surface it through Wait().
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
 }
 
+ThreadPool& SharedThreadPool() {
+  // Leaked on purpose: workers must outlive any static-destruction-order
+  // games, and the OS reclaims the threads at exit.
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+namespace {
+
+// Per-call completion state for ParallelFor. Each call waits only on its
+// own chunks, so concurrent callers sharing the pool neither block on each
+// other's work nor steal each other's exceptions.
+struct ParallelForBatch {
+  std::mutex mutex;
+  std::condition_variable done;
+  int64_t remaining = 0;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
+
 void ParallelFor(int64_t count, int num_threads,
                  const std::function<void(int64_t)>& fn) {
   NDV_CHECK(count >= 0);
   if (count == 0) return;
-  if (num_threads <= 1 || count == 1) {
+  // Clamp before touching the pool: never more concurrency than work.
+  if (num_threads > count) num_threads = static_cast<int>(count);
+  if (num_threads <= 1 || ThreadPool::OnWorkerThread()) {
     for (int64_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  ThreadPool pool(std::min<int64_t>(num_threads, count));
-  for (int64_t i = 0; i < count; ++i) {
-    pool.Submit([&fn, i] { fn(i); });
+
+  ThreadPool& pool = SharedThreadPool();
+  const int64_t chunks = std::min<int64_t>(count, num_threads);
+  ParallelForBatch batch;
+  batch.remaining = chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    const int64_t begin = count * c / chunks;
+    const int64_t end = count * (c + 1) / chunks;
+    pool.Submit([&fn, &batch, begin, end] {
+      std::exception_ptr error;
+      try {
+        for (int64_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      // notify_all while holding the lock: the waiter cannot return (and
+      // destroy `batch`) until this worker releases the mutex.
+      std::lock_guard<std::mutex> lock(batch.mutex);
+      if (error && !batch.first_error) batch.first_error = error;
+      if (--batch.remaining == 0) batch.done.notify_all();
+    });
   }
-  pool.Wait();
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(batch.mutex);
+    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+    error = batch.first_error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 int DefaultThreadCount() {
+  if (const char* env = std::getenv("NDV_THREADS")) {
+    int value = 0;
+    const char* end = env + std::strlen(env);
+    const auto result = std::from_chars(env, end, value);
+    if (result.ec == std::errc() && result.ptr == end && value >= 1 &&
+        value <= 1024) {
+      return value;
+    }
+    // Garbage (non-numeric, trailing junk, out of range): fall through to
+    // the hardware default rather than crash a long experiment run.
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) return 4;
   return static_cast<int>(std::min(hw, 16u));
+}
+
+int ResolveThreadCount(int requested) {
+  return requested >= 1 ? requested : DefaultThreadCount();
 }
 
 }  // namespace ndv

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -16,24 +17,40 @@ namespace ndv {
 // Wait() blocks until everything submitted so far has finished. Not a
 // general-purpose scheduler: no futures, no priorities, no work stealing —
 // the harness needs none of that.
+//
+// Exception contract: a task that throws does NOT terminate the process.
+// The pool captures the exception, keeps draining the queue, and rethrows
+// the FIRST captured exception from the next Wait() call (later exceptions
+// from the same batch are dropped). Wait() clears the stored exception, so
+// the pool stays usable afterwards. If the pool is destroyed without a
+// final Wait(), pending exceptions are discarded silently — call Wait()
+// before destruction when you care about task failures.
 class ThreadPool {
  public:
   // Spawns `num_threads` workers (>= 1).
   explicit ThreadPool(int num_threads);
 
-  // Drains outstanding work, then joins the workers.
+  // Drains outstanding work, then joins the workers. Exceptions captured
+  // since the last Wait() are discarded (destructors must not throw).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task. Thread-safe.
+  // Enqueues a task. Thread-safe. It is a checked programming error to
+  // Submit() once the destructor has begun shutting the pool down.
   void Submit(std::function<void()> task);
 
-  // Blocks until the queue is empty and no task is executing.
+  // Blocks until the queue is empty and no task is executing, then rethrows
+  // the first exception any task threw since the previous Wait() (if any).
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // True when the calling thread is a worker of any ThreadPool. Used by
+  // ParallelFor to run nested parallel loops inline instead of deadlocking
+  // on the shared pool.
+  static bool OnWorkerThread();
 
  private:
   void WorkerLoop();
@@ -44,17 +61,40 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   int64_t in_flight_ = 0;  // queued + currently executing
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
   std::vector<std::thread> workers_;
 };
 
-// Runs fn(i) for i in [0, count) across up to `num_threads` workers and
-// waits for completion. fn must be safe to call concurrently for distinct
-// i. With num_threads <= 1 the loop runs inline (deterministic order).
+// The process-wide pool used by ParallelFor, sized by DefaultThreadCount()
+// at first use (set NDV_THREADS before the first parallel call to resize
+// it). Lazily constructed and intentionally never destroyed, so it is safe
+// to use from static destructors and there is no shutdown ordering hazard.
+ThreadPool& SharedThreadPool();
+
+// Runs fn(i) for i in [0, count) across up to `num_threads` workers of the
+// shared pool and waits for completion. fn must be safe to call
+// concurrently for distinct i. Work is submitted as min(count, num_threads)
+// contiguous chunks — one task per chunk, not per index — so large counts
+// do not pay one allocation + lock per element.
+//
+// With num_threads <= 1, or when called from inside a pool worker (nested
+// parallelism), the loop runs inline in sequential order. If fn throws, the
+// first exception is rethrown from ParallelFor after all chunks finish;
+// remaining indices of the throwing chunk are skipped, other chunks still
+// run. Concurrent ParallelFor calls from different threads are isolated:
+// each call waits only on its own chunks and only sees its own exceptions.
 void ParallelFor(int64_t count, int num_threads,
                  const std::function<void(int64_t)>& fn);
 
 // A reasonable default worker count: hardware concurrency capped at 16.
+// The env var NDV_THREADS overrides the default (and its cap); it must be
+// an integer in [1, 1024] — anything else is ignored and the hardware
+// default is used.
 int DefaultThreadCount();
+
+// Maps a user-facing thread-count option to an actual count: values >= 1
+// pass through, anything else ("0 = auto") resolves to DefaultThreadCount().
+int ResolveThreadCount(int requested);
 
 }  // namespace ndv
 

@@ -71,6 +71,32 @@ TextTable MakeTableFigure(
   return table;
 }
 
+TextTable MakeTimingTable(const std::vector<EstimatorAggregate>& aggregates,
+                          const std::vector<std::string>& row_labels,
+                          const std::string& row_header) {
+  std::vector<std::string> names;
+  names.reserve(aggregates.size());
+  for (const auto& a : aggregates) names.push_back(a.estimator);
+  const std::vector<std::string> estimators =
+      BlockEstimators(names, row_labels.size());
+
+  std::vector<std::string> header = {row_header};
+  for (const std::string& name : estimators) header.push_back(name + " (ms)");
+  header.push_back("cell wall (ms)");
+  TextTable table(header);
+  const size_t per_block = estimators.size();
+  for (size_t b = 0; b < row_labels.size(); ++b) {
+    std::vector<std::string> row = {row_labels[b]};
+    for (size_t e = 0; e < per_block; ++e) {
+      row.push_back(
+          FormatDouble(aggregates[b * per_block + e].estimate_ms, 3));
+    }
+    row.push_back(FormatDouble(aggregates[b * per_block].cell_wall_ms, 3));
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
 void PrintFigure(std::ostream& out, const std::string& title,
                  const TextTable& table) {
   PrintBanner(out, title);

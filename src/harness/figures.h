@@ -32,6 +32,14 @@ TextTable MakeTableFigure(
     const std::function<double(const TableAggregate&)>& metric,
     int digits = 3);
 
+// Renders the wall-clock side of RunSweep output in the same grid as
+// MakeFigureTable: one row per swept value, per-estimator total Estimate()
+// milliseconds, plus a trailing "cell wall ms" column with the whole
+// cell's wall-clock (sampling + all estimators).
+TextTable MakeTimingTable(const std::vector<EstimatorAggregate>& aggregates,
+                          const std::vector<std::string>& row_labels,
+                          const std::string& row_header);
+
 // Prints a figure: banner, aligned grid, and a CSV block.
 void PrintFigure(std::ostream& out, const std::string& title,
                  const TextTable& table);

@@ -1,5 +1,6 @@
 #include "harness/runner.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
@@ -9,6 +10,13 @@
 
 namespace ndv {
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
 
 int64_t SampleRowsForFraction(const Column& column, double fraction) {
   NDV_CHECK(fraction > 0.0 && fraction <= 1.0);
@@ -20,6 +28,19 @@ int64_t SampleRowsForFraction(const Column& column, double fraction) {
   return r;
 }
 
+// Pre-forks one child generator per trial from a single sequential stream.
+// The fork order never depends on the thread count, which is what makes
+// the parallel trial loop bit-identical to the serial one.
+std::vector<Rng> ForkTrialRngs(uint64_t seed, int64_t trials) {
+  Rng rng(seed);
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(static_cast<size_t>(trials));
+  for (int64_t trial = 0; trial < trials; ++trial) {
+    trial_rngs.push_back(rng.Fork());
+  }
+  return trial_rngs;
+}
+
 }  // namespace
 
 std::vector<EstimatorAggregate> RunTrialsAllEstimators(
@@ -29,25 +50,49 @@ std::vector<EstimatorAggregate> RunTrialsAllEstimators(
   NDV_CHECK(options.trials >= 1);
   NDV_CHECK(actual_distinct >= 1);
   NDV_CHECK(!estimators.empty());
+  const auto cell_start = SteadyClock::now();
   const int64_t r = SampleRowsForFraction(column, fraction);
   const double actual = static_cast<double>(actual_distinct);
+  const size_t num_estimators = estimators.size();
+  const size_t trials = static_cast<size_t>(options.trials);
 
-  Rng rng(options.seed);
-  std::vector<RunningStats> estimates(estimators.size());
-  std::vector<RunningStats> errors(estimators.size());
-  for (int64_t trial = 0; trial < options.trials; ++trial) {
-    Rng trial_rng = rng.Fork();
-    const SampleSummary summary =
-        SampleColumn(column, r, options.scheme, trial_rng);
-    for (size_t e = 0; e < estimators.size(); ++e) {
-      const double estimate = estimators[e]->Estimate(summary);
-      estimates[e].Add(estimate);
-      errors[e].Add(RatioError(estimate, actual));
+  // Phase 1 (parallel): each trial samples with its pre-forked Rng and
+  // records one estimate per estimator into a trial-indexed slot. Trials
+  // are independent, so any execution order yields the same matrix.
+  std::vector<Rng> trial_rngs = ForkTrialRngs(options.seed, options.trials);
+  std::vector<double> trial_estimates(trials * num_estimators);
+  std::vector<double> trial_estimate_ms(trials * num_estimators);
+  ParallelFor(
+      options.trials, ResolveThreadCount(options.threads), [&](int64_t trial) {
+        Rng trial_rng = trial_rngs[static_cast<size_t>(trial)];
+        const SampleSummary summary =
+            SampleColumn(column, r, options.scheme, trial_rng);
+        const size_t base = static_cast<size_t>(trial) * num_estimators;
+        for (size_t e = 0; e < num_estimators; ++e) {
+          const auto start = SteadyClock::now();
+          trial_estimates[base + e] = estimators[e]->Estimate(summary);
+          trial_estimate_ms[base + e] = MsSince(start);
+        }
+      });
+
+  // Phase 2 (serial): merge in trial order — RunningStats accumulation is
+  // order-sensitive in floating point, so this keeps the aggregates
+  // bit-identical to the historical serial loop.
+  std::vector<RunningStats> estimates(num_estimators);
+  std::vector<RunningStats> errors(num_estimators);
+  std::vector<double> estimate_ms(num_estimators, 0.0);
+  for (size_t trial = 0; trial < trials; ++trial) {
+    const size_t base = trial * num_estimators;
+    for (size_t e = 0; e < num_estimators; ++e) {
+      estimates[e].Add(trial_estimates[base + e]);
+      errors[e].Add(RatioError(trial_estimates[base + e], actual));
+      estimate_ms[e] += trial_estimate_ms[base + e];
     }
   }
 
-  std::vector<EstimatorAggregate> aggregates(estimators.size());
-  for (size_t e = 0; e < estimators.size(); ++e) {
+  const double cell_wall_ms = MsSince(cell_start);
+  std::vector<EstimatorAggregate> aggregates(num_estimators);
+  for (size_t e = 0; e < num_estimators; ++e) {
     EstimatorAggregate& aggregate = aggregates[e];
     aggregate.estimator = std::string(estimators[e]->name());
     aggregate.sampling_fraction = fraction;
@@ -56,6 +101,8 @@ std::vector<EstimatorAggregate> RunTrialsAllEstimators(
     aggregate.mean_ratio_error = errors[e].mean();
     aggregate.max_ratio_error = errors[e].max();
     aggregate.stddev_fraction = estimates[e].PopulationStdDev() / actual;
+    aggregate.estimate_ms = estimate_ms[e];
+    aggregate.cell_wall_ms = cell_wall_ms;
   }
   return aggregates;
 }
@@ -65,19 +112,32 @@ EstimatorAggregate RunTrials(const Column& column, int64_t actual_distinct,
                              const RunOptions& options) {
   NDV_CHECK(options.trials >= 1);
   NDV_CHECK(actual_distinct >= 1);
+  const auto cell_start = SteadyClock::now();
   const int64_t r = SampleRowsForFraction(column, fraction);
+  const double actual = static_cast<double>(actual_distinct);
+  const size_t trials = static_cast<size_t>(options.trials);
 
-  Rng rng(options.seed);
+  std::vector<Rng> trial_rngs = ForkTrialRngs(options.seed, options.trials);
+  std::vector<double> trial_estimates(trials);
+  std::vector<double> trial_estimate_ms(trials);
+  ParallelFor(
+      options.trials, ResolveThreadCount(options.threads), [&](int64_t trial) {
+        Rng trial_rng = trial_rngs[static_cast<size_t>(trial)];
+        const SampleSummary summary =
+            SampleColumn(column, r, options.scheme, trial_rng);
+        const auto start = SteadyClock::now();
+        trial_estimates[static_cast<size_t>(trial)] =
+            estimator.Estimate(summary);
+        trial_estimate_ms[static_cast<size_t>(trial)] = MsSince(start);
+      });
+
   RunningStats estimates;
   RunningStats errors;
-  const double actual = static_cast<double>(actual_distinct);
-  for (int64_t trial = 0; trial < options.trials; ++trial) {
-    Rng trial_rng = rng.Fork();
-    const SampleSummary summary =
-        SampleColumn(column, r, options.scheme, trial_rng);
-    const double estimate = estimator.Estimate(summary);
-    estimates.Add(estimate);
-    errors.Add(RatioError(estimate, actual));
+  double estimate_ms = 0.0;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    estimates.Add(trial_estimates[trial]);
+    errors.Add(RatioError(trial_estimates[trial], actual));
+    estimate_ms += trial_estimate_ms[trial];
   }
 
   EstimatorAggregate aggregate;
@@ -88,6 +148,8 @@ EstimatorAggregate RunTrials(const Column& column, int64_t actual_distinct,
   aggregate.mean_ratio_error = errors.mean();
   aggregate.max_ratio_error = errors.max();
   aggregate.stddev_fraction = estimates.PopulationStdDev() / actual;
+  aggregate.estimate_ms = estimate_ms;
+  aggregate.cell_wall_ms = MsSince(cell_start);
   return aggregate;
 }
 
@@ -115,10 +177,12 @@ std::vector<TableAggregate> RunTableSweep(
   const size_t cells = fractions.size() * estimators.size();
 
   // Per-column work is independent; run it (optionally) in parallel and
-  // merge afterwards so results do not depend on the thread count.
+  // merge afterwards so results do not depend on the thread count. The
+  // nested trial loop inside RunTrialsAllEstimators detects it is on a
+  // pool worker and runs inline, so parallelism stays at the column level.
   std::vector<std::vector<EstimatorAggregate>> per_column(num_columns);
   ParallelFor(
-      table.NumColumns(), options.threads, [&](int64_t c) {
+      table.NumColumns(), ResolveThreadCount(options.threads), [&](int64_t c) {
         RunOptions column_options = options;
         // Vary the seed per column so columns see independent samples but
         // the whole sweep stays deterministic.

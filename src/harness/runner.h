@@ -19,9 +19,12 @@ struct RunOptions {
   int64_t trials = 10;  // the paper uses 10 independent samples per point
   uint64_t seed = 1;
   SamplingScheme scheme = SamplingScheme::kWithoutReplacement;
-  // Worker threads for multi-column sweeps (columns are independent).
-  // 1 = run inline. Results are identical regardless of thread count.
-  int threads = 1;
+  // Worker threads for the trial loop and for multi-column sweeps (trials
+  // and columns are independent). 0 = auto (DefaultThreadCount(), which
+  // honors NDV_THREADS); 1 = run inline. Per-trial RNGs are pre-forked
+  // sequentially from `seed`, so the statistical results are bit-identical
+  // regardless of thread count; only the timing fields vary.
+  int threads = 0;
 };
 
 // Aggregate over the trials of one (column, fraction, estimator) cell.
@@ -36,6 +39,12 @@ struct EstimatorAggregate {
   // "variance as a fraction of the actual number of distinct values" the
   // paper plots (Figs. 3-4, 12, 14, 16).
   double stddev_fraction = 0.0;
+  // Wall-clock accounting (the only fields that depend on thread count):
+  // total milliseconds spent in this estimator's Estimate() across all
+  // trials, and the wall-clock of the whole cell (sampling + every
+  // estimator), identical for all aggregates returned by one call.
+  double estimate_ms = 0.0;
+  double cell_wall_ms = 0.0;
 };
 
 // Runs `options.trials` independent samples of `fraction * n` rows from

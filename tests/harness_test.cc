@@ -68,6 +68,52 @@ TEST(RunTrialsTest, FullScanHasZeroErrorAndVariance) {
   EXPECT_DOUBLE_EQ(aggregate.stddev_fraction, 0.0);
 }
 
+TEST(RunTrialsAllEstimatorsTest, ThreadCountDoesNotChangeResults) {
+  // The determinism contract: per-trial RNGs are pre-forked sequentially
+  // from the seed and merged in trial order, so serial and parallel runs
+  // produce bit-identical statistics.
+  const auto column = TestColumn();
+  const int64_t actual = ExactDistinctHashSet(*column);
+  auto estimators = MakePaperComparisonEstimators();
+  RunOptions serial;
+  serial.trials = 12;
+  serial.seed = 77;
+  serial.threads = 1;
+  RunOptions parallel = serial;
+  parallel.threads = 8;
+  const auto a =
+      RunTrialsAllEstimators(*column, actual, 0.03, estimators, serial);
+  const auto b =
+      RunTrialsAllEstimators(*column, actual, 0.03, estimators, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].estimator, b[i].estimator);
+    EXPECT_EQ(a[i].actual_distinct, b[i].actual_distinct);
+    // Exact (bitwise) equality, not near-equality.
+    EXPECT_EQ(a[i].mean_estimate, b[i].mean_estimate);
+    EXPECT_EQ(a[i].mean_ratio_error, b[i].mean_ratio_error);
+    EXPECT_EQ(a[i].max_ratio_error, b[i].max_ratio_error);
+    EXPECT_EQ(a[i].stddev_fraction, b[i].stddev_fraction);
+  }
+}
+
+TEST(RunTrialsAllEstimatorsTest, RecordsWallClockTiming) {
+  const auto column = TestColumn();
+  const int64_t actual = ExactDistinctHashSet(*column);
+  auto estimators = MakePaperComparisonEstimators();
+  RunOptions options;
+  options.trials = 4;
+  const auto aggregates =
+      RunTrialsAllEstimators(*column, actual, 0.05, estimators, options);
+  ASSERT_FALSE(aggregates.empty());
+  for (const auto& aggregate : aggregates) {
+    EXPECT_GE(aggregate.estimate_ms, 0.0);
+    EXPECT_GT(aggregate.cell_wall_ms, 0.0);
+    // The cell wall-clock is shared by every estimator of the cell.
+    EXPECT_EQ(aggregate.cell_wall_ms, aggregates[0].cell_wall_ms);
+  }
+}
+
 TEST(RunSweepTest, FractionMajorOrdering) {
   const auto column = TestColumn();
   const int64_t actual = ExactDistinctHashSet(*column);
@@ -201,6 +247,22 @@ TEST(MakeFigureTableTest, GridShape) {
   EXPECT_NE(out.str().find("rate"), std::string::npos);
   EXPECT_NE(out.str().find("GEE"), std::string::npos);
   EXPECT_NE(out.str().find("HYBGEE"), std::string::npos);
+}
+
+TEST(MakeTimingTableTest, GridShapeWithCellWallColumn) {
+  const auto column = TestColumn();
+  const int64_t actual = ExactDistinctHashSet(*column);
+  auto estimators = MakePaperComparisonEstimators();
+  RunOptions options;
+  options.trials = 2;
+  const auto results =
+      RunSweep(*column, actual, {0.01, 0.02}, estimators, options);
+  const TextTable table = MakeTimingTable(results, {"1%", "2%"}, "rate");
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("rate"), std::string::npos);
+  EXPECT_NE(out.str().find("GEE (ms)"), std::string::npos);
+  EXPECT_NE(out.str().find("cell wall (ms)"), std::string::npos);
 }
 
 TEST(AllEstimatorsRegistryTest, PaperSetAndFullSet) {

@@ -1,7 +1,12 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -47,6 +52,76 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
   EXPECT_EQ(counter.load(), 100);
 }
 
+// Regression: a throwing task used to escape WorkerLoop and call
+// std::terminate, and in_flight_ was never decremented on the throw path,
+// so Wait() deadlocked. Now the first exception surfaces from Wait().
+TEST(ThreadPoolTest, ThrowingTaskSurfacesFromWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotDeadlockOrLoseWork) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran, i] {
+      if (i % 10 == 3) throw std::runtime_error("x");
+      ran.fetch_add(1);
+    });
+  }
+  // Wait() must return (no deadlock), rethrow, and have drained the queue.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 90);
+  // The exception was cleared: the pool is reusable and the next Wait()
+  // does not see a stale error.
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 91);
+}
+
+TEST(ThreadPoolTest, StressThrowingTasksAcrossRepeatedWaitCycles) {
+  ThreadPool pool(4);
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    std::atomic<int> ok{0};
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&ok, i] {
+        if (i % 2 == 1) throw std::runtime_error("odd");
+        ok.fetch_add(1);
+      });
+    }
+    EXPECT_THROW(pool.Wait(), std::runtime_error);
+    EXPECT_EQ(ok.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorSurvivesThrowingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran, i] {
+        if (i % 5 == 0) throw std::runtime_error("x");
+        ran.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor drains, discards the exceptions, and must
+    // not terminate the process.
+  }
+  EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(SharedThreadPoolTest, IsAProcessWideSingleton) {
+  ThreadPool& a = SharedThreadPool();
+  ThreadPool& b = SharedThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1);
+  std::atomic<int> counter{0};
+  a.Submit([&counter] { counter.fetch_add(1); });
+  a.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   std::vector<std::atomic<int>> hits(500);
   ParallelFor(500, 8, [&hits](int64_t i) {
@@ -80,9 +155,74 @@ TEST(ParallelForTest, ResultsMatchSerialExecution) {
   EXPECT_EQ(total, expected);
 }
 
+TEST(ParallelForTest, PropagatesTaskException) {
+  EXPECT_THROW(ParallelFor(100, 4,
+                           [](int64_t i) {
+                             if (i == 37) throw std::runtime_error("at 37");
+                           }),
+               std::runtime_error);
+  // The shared pool survives the failed batch.
+  std::atomic<int> after{0};
+  ParallelFor(10, 4, [&after](int64_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ParallelForTest, ClampsConcurrencyToCount) {
+  // 64 requested threads but only 3 indices: work is split into at most 3
+  // chunks, so at most 3 distinct threads ever run fn.
+  std::vector<std::atomic<int>> hits(3);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  ParallelFor(3, 64, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+    std::lock_guard<std::mutex> lock(mutex);
+    ids.insert(std::this_thread::get_id());
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_LE(ids.size(), 3u);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  // An inner ParallelFor on a pool worker must not wait on the shared pool
+  // it is running on; it detects the worker thread and runs inline.
+  std::atomic<int> total{0};
+  ParallelFor(8, 4, [&total](int64_t) {
+    ParallelFor(8, 4, [&total](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
 TEST(DefaultThreadCountTest, Positive) {
   EXPECT_GE(DefaultThreadCount(), 1);
   EXPECT_LE(DefaultThreadCount(), 16);
+}
+
+TEST(DefaultThreadCountTest, NdvThreadsEnvOverride) {
+  ASSERT_EQ(unsetenv("NDV_THREADS"), 0);
+  const int fallback = DefaultThreadCount();
+
+  ASSERT_EQ(setenv("NDV_THREADS", "5", 1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 5);
+  // The override may exceed the silent hardware cap of 16.
+  ASSERT_EQ(setenv("NDV_THREADS", "64", 1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 64);
+
+  // Garbage falls back to the hardware default instead of crashing.
+  for (const char* bad : {"", "abc", "12abc", "0", "-3", "1000000", " 4"}) {
+    ASSERT_EQ(setenv("NDV_THREADS", bad, 1), 0);
+    EXPECT_EQ(DefaultThreadCount(), fallback) << "NDV_THREADS=" << bad;
+  }
+
+  ASSERT_EQ(unsetenv("NDV_THREADS"), 0);
+  EXPECT_EQ(DefaultThreadCount(), fallback);
+}
+
+TEST(ResolveThreadCountTest, ZeroMeansAuto) {
+  ASSERT_EQ(unsetenv("NDV_THREADS"), 0);
+  EXPECT_EQ(ResolveThreadCount(0), DefaultThreadCount());
+  EXPECT_EQ(ResolveThreadCount(-1), DefaultThreadCount());
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //   ndv_cli generate --kind=zipf --rows=100000 --z=1 --dup=10 --out=data.csv
 //   ndv_cli estimate --in=data.csv --column=value --fraction=0.01
 //   ndv_cli analyze --in=data.csv --fraction=0.05 --out=stats.ndv
+//   ndv_cli analyze --in=data.csv --threads=8   # or NDV_THREADS=8
 //   ndv_cli sketch --in=data.csv --column=value
 //   ndv_cli lowerbound --n=1000000 --r=10000 --gamma=0.5
 
@@ -200,6 +201,8 @@ int CmdAnalyze(const Flags& flags) {
   options.sample_fraction = GetDouble(flags, "fraction", 0.01);
   options.estimator = GetFlag(flags, "estimator", "AE");
   options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  // 0 = auto: DefaultThreadCount(), overridable via NDV_THREADS.
+  options.threads = static_cast<int>(GetInt(flags, "threads", 0));
   const ndv::StatsCatalog catalog = ndv::AnalyzeTable(table, options);
 
   ndv::TextTable result({"column", "estimate", "LOWER", "UPPER", "sampled"});
