@@ -1,5 +1,6 @@
 #include "catalog/stats_catalog.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 
@@ -93,15 +94,16 @@ const ColumnStats* StatsCatalog::Find(std::string_view column_name) const {
 }
 
 std::string StatsCatalog::Serialize() const {
-  std::string out = "ndv-stats-v1\n";
+  std::string out = "ndv-stats-v2\n";
   for (const ColumnStats& stats : entries_) {
-    char buffer[256];
+    char buffer[320];
     std::snprintf(buffer, sizeof(buffer),
-                  "|%lld|%lld|%lld|%.17g|%.17g|%.17g|",
+                  "|%lld|%lld|%lld|%.17g|%.17g|%.17g|%.17g|%d|",
                   static_cast<long long>(stats.table_rows),
                   static_cast<long long>(stats.sample_rows),
                   static_cast<long long>(stats.sample_distinct),
-                  stats.estimate, stats.lower, stats.upper);
+                  stats.estimate, stats.lower, stats.upper, stats.coverage,
+                  stats.degraded ? 1 : 0);
     out += EscapeName(stats.column_name);
     out += buffer;
     out += EscapeName(stats.method);
@@ -110,41 +112,99 @@ std::string StatsCatalog::Serialize() const {
   return out;
 }
 
-std::optional<StatsCatalog> StatsCatalog::Deserialize(std::string_view text) {
+StatusOr<StatsCatalog> StatsCatalog::DeserializeOrStatus(
+    std::string_view text) {
   StatsCatalog catalog;
   size_t pos = 0;
-  bool saw_header = false;
+  int64_t line_number = 0;
+  int version = 0;  // 0 until the header is seen
   while (pos < text.size()) {
     size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
     const std::string_view line = text.substr(pos, eol - pos);
     pos = eol + 1;
+    ++line_number;
     if (line.empty()) continue;
-    if (!saw_header) {
-      if (line != "ndv-stats-v1") return std::nullopt;
-      saw_header = true;
+    if (version == 0) {
+      if (line == "ndv-stats-v1") {
+        version = 1;
+      } else if (line == "ndv-stats-v2") {
+        version = 2;
+      } else {
+        return InvalidArgumentError(
+            "line %lld: unknown header '%.*s' (expected ndv-stats-v1 or "
+            "ndv-stats-v2)",
+            static_cast<long long>(line_number),
+            static_cast<int>(std::min<size_t>(line.size(), 64)), line.data());
+      }
       continue;
     }
     const auto fields = SplitFields(line);
-    if (fields.size() != 8) return std::nullopt;
+    const size_t expected_fields = version == 1 ? 8 : 10;
+    if (fields.size() != expected_fields) {
+      return InvalidArgumentError(
+          "line %lld: expected %zu fields for a v%d entry, got %zu",
+          static_cast<long long>(line_number), expected_fields, version,
+          fields.size());
+    }
     ColumnStats stats;
+    const size_t method_field = expected_fields - 1;
     const auto name = UnescapeName(fields[0]);
-    const auto method = UnescapeName(fields[7]);
-    if (!name.has_value() || !method.has_value()) return std::nullopt;
+    if (!name.has_value()) {
+      return InvalidArgumentError(
+          "line %lld field 1 (column name): bad percent escape",
+          static_cast<long long>(line_number));
+    }
+    const auto method = UnescapeName(fields[method_field]);
+    if (!method.has_value()) {
+      return InvalidArgumentError(
+          "line %lld field %zu (method): bad percent escape",
+          static_cast<long long>(line_number), method_field + 1);
+    }
     stats.column_name = *name;
     stats.method = *method;
-    if (!ParseNumber(fields[1], &stats.table_rows) ||
-        !ParseNumber(fields[2], &stats.sample_rows) ||
-        !ParseNumber(fields[3], &stats.sample_distinct) ||
-        !ParseNumber(fields[4], &stats.estimate) ||
-        !ParseNumber(fields[5], &stats.lower) ||
-        !ParseNumber(fields[6], &stats.upper)) {
-      return std::nullopt;
+
+    // (field index, destination, what it is) — 1-based indices in messages.
+    auto parse_field = [&](size_t index, auto* out,
+                           const char* what) -> Status {
+      if (!ParseNumber(fields[index], out)) {
+        return InvalidArgumentError(
+            "line %lld field %zu (%s): cannot parse '%.*s' as a number",
+            static_cast<long long>(line_number), index + 1, what,
+            static_cast<int>(std::min<size_t>(fields[index].size(), 64)),
+            fields[index].data());
+      }
+      return Status::Ok();
+    };
+    NDV_RETURN_IF_ERROR(parse_field(1, &stats.table_rows, "table_rows"));
+    NDV_RETURN_IF_ERROR(parse_field(2, &stats.sample_rows, "sample_rows"));
+    NDV_RETURN_IF_ERROR(
+        parse_field(3, &stats.sample_distinct, "sample_distinct"));
+    NDV_RETURN_IF_ERROR(parse_field(4, &stats.estimate, "estimate"));
+    NDV_RETURN_IF_ERROR(parse_field(5, &stats.lower, "lower"));
+    NDV_RETURN_IF_ERROR(parse_field(6, &stats.upper, "upper"));
+    if (version >= 2) {
+      NDV_RETURN_IF_ERROR(parse_field(7, &stats.coverage, "coverage"));
+      int64_t degraded = 0;
+      NDV_RETURN_IF_ERROR(parse_field(8, &degraded, "degraded"));
+      if (degraded != 0 && degraded != 1) {
+        return InvalidArgumentError(
+            "line %lld field 9 (degraded): expected 0 or 1, got %lld",
+            static_cast<long long>(line_number),
+            static_cast<long long>(degraded));
+      }
+      stats.degraded = degraded == 1;
     }
     catalog.Put(std::move(stats));
   }
-  if (!saw_header) return std::nullopt;
+  if (version == 0) {
+    return InvalidArgumentError("missing ndv-stats header line");
+  }
   return catalog;
+}
+
+std::optional<StatsCatalog> StatsCatalog::Deserialize(std::string_view text) {
+  return DeserializeOrStatus(text).ToOptional();
 }
 
 StatsCatalog AnalyzeTable(const Table& table, const AnalyzeOptions& options) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "estimators/estimator.h"
 #include "table/table.h"
 
@@ -28,6 +29,16 @@ struct ColumnStats {
   double lower = 0.0;           // GEE interval LOWER (= d)
   double upper = 0.0;           // GEE interval UPPER
   std::string method;           // estimator name used for `estimate`
+
+  // Fraction of the table's rows that were actually scanned to produce
+  // these statistics. 1.0 for a monolithic ANALYZE; < 1.0 when a
+  // distributed ANALYZE lost partitions permanently and degraded: the
+  // interval is then widened so [lower, upper] still brackets the true D
+  // (every unscanned row may introduce at most one new distinct value).
+  double coverage = 1.0;
+  // True when some partitions were never scanned (coverage < 1 and the
+  // interval was widened accordingly).
+  bool degraded = false;
 
   // Fraction of rows that are distinct per the estimate; planners use this
   // for selectivity of equality predicates (1 / D_hat).
@@ -61,13 +72,20 @@ class StatsCatalog {
   const std::vector<ColumnStats>& entries() const { return entries_; }
   bool empty() const { return entries_.empty(); }
 
-  // Line-oriented text serialization:
-  //   ndv-stats-v1
-  //   <name>|<table_rows>|<sample_rows>|<d>|<estimate>|<lower>|<upper>|<method>
-  // Column names are percent-escaped ('%', '|', newline).
+  // Line-oriented text serialization (current format, v2):
+  //   ndv-stats-v2
+  //   <name>|<table_rows>|<sample_rows>|<d>|<estimate>|<lower>|<upper>|
+  //       <coverage>|<degraded 0/1>|<method>
+  // Column names and methods are percent-escaped ('%', '|', newline).
   std::string Serialize() const;
 
-  // Parses Serialize() output. Returns std::nullopt on malformed input.
+  // Parses Serialize() output — both the current v2 format and legacy v1
+  // files (8 fields, no coverage/degraded; they load as coverage = 1,
+  // complete). On malformed input returns InvalidArgument naming the line,
+  // the field, and the reason.
+  static StatusOr<StatsCatalog> DeserializeOrStatus(std::string_view text);
+
+  // Legacy wrapper: std::nullopt where DeserializeOrStatus errors.
   static std::optional<StatsCatalog> Deserialize(std::string_view text);
 
  private:

@@ -1,0 +1,34 @@
+#include "distributed/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ndv {
+
+namespace {
+
+class SteadyClock final : public Clock {
+ public:
+  int64_t NowMillis() override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepMillis(int64_t millis) override {
+    if (millis > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+    }
+  }
+};
+
+}  // namespace
+
+Clock& SystemClock() {
+  // Leaked intentionally, like SharedThreadPool(): usable from static
+  // destructors, no shutdown ordering hazard.
+  static SteadyClock* clock = new SteadyClock;
+  return *clock;
+}
+
+}  // namespace ndv

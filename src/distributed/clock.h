@@ -1,0 +1,52 @@
+#ifndef NDV_DISTRIBUTED_CLOCK_H_
+#define NDV_DISTRIBUTED_CLOCK_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace ndv {
+
+// Injectable time source for the distributed coordinator. Production code
+// uses SystemClock() (monotonic, really sleeps); tests inject a
+// VirtualClock so retry/backoff schedules that would take seconds of
+// wall-clock run instantly and deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Milliseconds since an arbitrary fixed origin. Monotonic.
+  virtual int64_t NowMillis() = 0;
+
+  // Blocks (or, for a virtual clock, advances time) for `millis` >= 0.
+  virtual void SleepMillis(int64_t millis) = 0;
+};
+
+// The process-wide real clock (std::chrono::steady_clock). Never destroyed.
+Clock& SystemClock();
+
+// A manually advanced clock. SleepMillis() advances time instantly instead
+// of blocking, so a test exercising three retries with exponential backoff
+// finishes in microseconds yet observes the exact schedule via NowMillis().
+// Thread-safe: concurrent workers may sleep/read concurrently.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_millis = 0) : now_(start_millis) {}
+
+  int64_t NowMillis() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_;
+  }
+
+  void SleepMillis(int64_t millis) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (millis > 0) now_ += millis;
+  }
+
+ private:
+  std::mutex mutex_;
+  int64_t now_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_DISTRIBUTED_CLOCK_H_

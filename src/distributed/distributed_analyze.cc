@@ -1,0 +1,286 @@
+#include "distributed/distributed_analyze.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/all_estimators.h"
+#include "profile/frequency_profile.h"
+#include "sample/partition_merge.h"
+#include "sample/samplers.h"
+
+namespace ndv {
+namespace {
+
+// What a worker sends back to the coordinator. The checksum (an
+// order-independent sum of item hashes) lets the coordinator detect
+// corrupted payloads before they poison the merge.
+struct WorkerReply {
+  PartitionSample sample;
+  uint64_t checksum = 0;
+};
+
+uint64_t PayloadChecksum(const std::vector<uint64_t>& items) {
+  uint64_t sum = 0;
+  for (uint64_t item : items) sum += Hash64(item);
+  return sum;
+}
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kDataLoss;
+}
+
+int64_t BackoffMillis(const DistributedAnalyzeOptions& options, int attempt) {
+  if (options.backoff_base_ms <= 0) return 0;
+  const int shift = std::min(attempt, 40);
+  const int64_t raw = options.backoff_base_ms << shift;
+  return std::min(raw, options.backoff_max_ms);
+}
+
+// One worker attempt: simulate the injected fault (if any), then scan the
+// shard [begin, end) of `column` into a reservoir seeded by `rng`. The rng
+// is taken by value: a retry re-runs the identical scan, which is what
+// makes retry-success bit-identical to a fault-free run.
+StatusOr<WorkerReply> ScanPartitionAttempt(
+    const Column& column, int64_t begin, int64_t end, int64_t capacity,
+    Rng rng, int partition, int attempt,
+    const DistributedAnalyzeOptions& options, Clock& clock) {
+  const FaultSpec fault = options.faults == nullptr
+                              ? FaultSpec::None()
+                              : options.faults->ActionFor(partition, attempt);
+  if (fault.kind == FaultKind::kFail) {
+    return UnavailableError("injected failure: partition %d attempt %d",
+                            partition, attempt);
+  }
+  if (fault.kind == FaultKind::kSlow) {
+    clock.SleepMillis(fault.delay_ms);
+    if (options.attempt_timeout_ms > 0 &&
+        fault.delay_ms >= options.attempt_timeout_ms) {
+      return DeadlineExceededError(
+          "partition %d attempt %d timed out after %lld ms "
+          "(budget %lld ms)",
+          partition, attempt, static_cast<long long>(fault.delay_ms),
+          static_cast<long long>(options.attempt_timeout_ms));
+    }
+  }
+
+  ReservoirSamplerL reservoir(capacity, rng);
+  for (int64_t row = begin; row < end; ++row) {
+    reservoir.Add(column.HashAt(row));
+  }
+  WorkerReply reply;
+  reply.sample.population = end - begin;
+  reply.sample.items = reservoir.sample();
+  reply.checksum = PayloadChecksum(reply.sample.items);
+
+  if (fault.kind == FaultKind::kTruncate) {
+    // Half the payload never arrives; the stale checksum and the
+    // undersized reservoir are both detectable coordinator-side.
+    reply.sample.items.resize(reply.sample.items.size() / 2);
+  } else if (fault.kind == FaultKind::kCorrupt) {
+    if (reply.sample.items.empty()) {
+      reply.checksum ^= 1;  // Nothing to flip; mangle the checksum itself.
+    } else {
+      reply.sample.items[0] ^= 1;  // Bit flip in transit.
+    }
+  }
+  return reply;
+}
+
+// Coordinator-side admission check for one reply.
+Status ValidateReply(const WorkerReply& reply, int64_t target,
+                     int partition) {
+  NDV_RETURN_IF_ERROR(
+      ValidatePartitionSample(reply.sample, target, partition));
+  if (PayloadChecksum(reply.sample.items) != reply.checksum) {
+    return DataLossError("partition %d: checksum mismatch (corrupt payload)",
+                         partition);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view PartitionStateName(PartitionState state) {
+  switch (state) {
+    case PartitionState::kScanned: return "SCANNED";
+    case PartitionState::kRecovered: return "RECOVERED";
+    case PartitionState::kFailed: return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<DistributedAnalyzeResult> DistributedAnalyze(
+    const Column& column, std::string_view column_name,
+    const DistributedAnalyzeOptions& options) {
+  if (options.partitions < 1) {
+    return InvalidArgumentError("partitions must be >= 1, got %d",
+                                options.partitions);
+  }
+  if (options.sample_rows < 1) {
+    return InvalidArgumentError("sample_rows must be >= 1, got %lld",
+                                static_cast<long long>(options.sample_rows));
+  }
+  if (options.max_attempts < 1) {
+    return InvalidArgumentError("max_attempts must be >= 1, got %d",
+                                options.max_attempts);
+  }
+  if (column.size() < 1) {
+    return InvalidArgumentError(
+        "cannot analyze an empty column ('%.*s' has 0 rows)",
+        static_cast<int>(std::min<size_t>(column_name.size(), 128)),
+        column_name.data());
+  }
+  const auto estimator = MakeEstimatorByName(options.estimator);
+  if (estimator == nullptr) {
+    return InvalidArgumentError("unknown estimator '%s'",
+                                options.estimator.c_str());
+  }
+
+  Clock& clock = options.clock == nullptr ? SystemClock() : *options.clock;
+  const int64_t total_rows = column.size();
+  const int partitions = options.partitions;
+
+  // Pre-fork all randomness sequentially, so results are independent of
+  // thread count and of how many attempts each partition needed.
+  Rng root(options.seed);
+  std::vector<Rng> partition_rngs;
+  partition_rngs.reserve(static_cast<size_t>(partitions));
+  for (int p = 0; p < partitions; ++p) {
+    partition_rngs.push_back(root.Fork());
+  }
+  Rng merge_rng = root.Fork();
+
+  const int64_t start_ms = clock.NowMillis();
+  const int64_t deadline_at =
+      options.deadline_ms > 0 ? start_ms + options.deadline_ms : 0;
+
+  std::vector<PartitionOutcome> outcomes(static_cast<size_t>(partitions));
+  std::vector<WorkerReply> replies(static_cast<size_t>(partitions));
+
+  ParallelFor(partitions, ResolveThreadCount(options.threads),
+              [&](int64_t pi) {
+    const int p = static_cast<int>(pi);
+    const int64_t begin = total_rows * p / partitions;
+    const int64_t end = total_rows * (p + 1) / partitions;
+    PartitionOutcome& outcome = outcomes[static_cast<size_t>(p)];
+    outcome.partition = p;
+    outcome.rows = end - begin;
+
+    Status last_error;
+    for (int attempt = 0;; ++attempt) {
+      if (deadline_at > 0 && clock.NowMillis() >= deadline_at) {
+        outcome.state = PartitionState::kFailed;
+        outcome.status = DeadlineExceededError(
+            "coordinator deadline of %lld ms exceeded before partition %d "
+            "attempt %d",
+            static_cast<long long>(options.deadline_ms), p, attempt);
+        return;
+      }
+      auto reply = ScanPartitionAttempt(
+          column, begin, end, options.sample_rows,
+          partition_rngs[static_cast<size_t>(p)], p, attempt, options, clock);
+      ++outcome.attempts;
+      const Status status = reply.ok()
+                                ? ValidateReply(*reply, options.sample_rows, p)
+                                : reply.status();
+      if (status.ok()) {
+        replies[static_cast<size_t>(p)] = *std::move(reply);
+        outcome.state = attempt == 0 ? PartitionState::kScanned
+                                     : PartitionState::kRecovered;
+        outcome.status = Status::Ok();
+        return;
+      }
+      last_error = status;
+      if (!IsRetryable(status.code()) ||
+          attempt + 1 >= options.max_attempts) {
+        outcome.state = PartitionState::kFailed;
+        outcome.status = last_error;
+        return;
+      }
+      clock.SleepMillis(BackoffMillis(options, attempt));
+    }
+  });
+
+  // Collect survivors in partition order (determinism of the merge).
+  std::vector<PartitionSample> survivors;
+  int64_t scanned_rows = 0;
+  int failed = 0;
+  bool all_deadline = true;
+  for (int p = 0; p < partitions; ++p) {
+    const PartitionOutcome& outcome = outcomes[static_cast<size_t>(p)];
+    if (outcome.state == PartitionState::kFailed) {
+      ++failed;
+      if (outcome.status.code() != StatusCode::kDeadlineExceeded) {
+        all_deadline = false;
+      }
+      continue;
+    }
+    scanned_rows += outcome.rows;
+    survivors.push_back(std::move(replies[static_cast<size_t>(p)].sample));
+  }
+
+  if (survivors.empty()) {
+    const PartitionOutcome& first = outcomes[0];
+    if (all_deadline) {
+      return DeadlineExceededError(
+          "all %d partitions failed permanently; partition 0: %s", partitions,
+          first.status.ToString().c_str());
+    }
+    return UnavailableError(
+        "all %d partitions failed permanently; partition 0: %s", partitions,
+        first.status.ToString().c_str());
+  }
+
+  const int64_t target = std::min(options.sample_rows, scanned_rows);
+  auto merged =
+      MergePartitionSamplesOrStatus(std::move(survivors), target, merge_rng);
+  if (!merged.ok()) {
+    // Every survivor was validated, so a merge failure is a broken
+    // coordinator invariant, not bad data.
+    return InternalError("validated partition merge failed: %s",
+                         merged.status().ToString().c_str());
+  }
+
+  SampleSummary summary;
+  summary.table_rows = scanned_rows;
+  summary.sample_rows = static_cast<int64_t>(merged->size());
+  summary.distinct_rows = true;
+  summary.freq = FrequencyProfile::FromValues(*merged);
+  summary.Validate();
+
+  DistributedAnalyzeResult result;
+  result.total_rows = total_rows;
+  result.scanned_rows = scanned_rows;
+  result.degraded = failed > 0;
+  result.coverage =
+      static_cast<double>(scanned_rows) / static_cast<double>(total_rows);
+  result.outcomes = std::move(outcomes);
+  result.scanned_bounds = ComputeGeeBounds(summary);
+
+  // Interval widening (DESIGN.md §9): the scanned-region interval brackets
+  // the distinct count of the scanned rows; each of the
+  // (total - scanned) unscanned rows can add at most one new distinct
+  // value, and can remove none. LOWER stays d; UPPER gains one per
+  // unscanned row. Coverage of the true table-level D is preserved.
+  const int64_t unscanned_rows = total_rows - scanned_rows;
+  ColumnStats& stats = result.stats;
+  stats.column_name = std::string(column_name);
+  stats.table_rows = total_rows;
+  stats.sample_rows = summary.sample_rows;
+  stats.sample_distinct = summary.d();
+  stats.estimate = estimator->Estimate(summary);
+  stats.lower = result.scanned_bounds.lower;
+  stats.upper =
+      result.scanned_bounds.upper + static_cast<double>(unscanned_rows);
+  stats.method = options.estimator;
+  stats.coverage = result.coverage;
+  stats.degraded = result.degraded;
+  return result;
+}
+
+}  // namespace ndv

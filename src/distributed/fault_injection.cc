@@ -1,0 +1,105 @@
+#include "distributed/fault_injection.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace ndv {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "NONE";
+    case FaultKind::kFail: return "FAIL";
+    case FaultKind::kSlow: return "SLOW";
+    case FaultKind::kTruncate: return "TRUNCATE";
+    case FaultKind::kCorrupt: return "CORRUPT";
+  }
+  return "UNKNOWN";
+}
+
+void FaultPlan::Set(int partition, FaultSpec spec) {
+  NDV_CHECK(partition >= 0);
+  if (static_cast<size_t>(partition) >= specs_.size()) {
+    specs_.resize(static_cast<size_t>(partition) + 1);
+  }
+  specs_[static_cast<size_t>(partition)] = spec;
+}
+
+FaultSpec FaultPlan::ActionFor(int partition, int attempt) const {
+  NDV_CHECK(partition >= 0);
+  NDV_CHECK(attempt >= 0);
+  if (static_cast<size_t>(partition) >= specs_.size()) {
+    return FaultSpec::None();
+  }
+  const FaultSpec& spec = specs_[static_cast<size_t>(partition)];
+  if (spec.kind == FaultKind::kNone || attempt >= spec.attempts) {
+    return FaultSpec::None();
+  }
+  return spec;
+}
+
+bool FaultPlan::empty() const {
+  for (const FaultSpec& spec : specs_) {
+    if (spec.kind != FaultKind::kNone && spec.attempts > 0) return false;
+  }
+  return true;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (size_t p = 0; p < specs_.size(); ++p) {
+    const FaultSpec& spec = specs_[p];
+    if (spec.kind == FaultKind::kNone || spec.attempts == 0) continue;
+    char buffer[96];
+    if (spec.kind == FaultKind::kSlow) {
+      std::snprintf(buffer, sizeof(buffer), "p%zu:SLOW(%lldms)", p,
+                    static_cast<long long>(spec.delay_ms));
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "p%zu:%s", p,
+                    std::string(FaultKindName(spec.kind)).c_str());
+    }
+    if (!out.empty()) out += ' ';
+    out += buffer;
+    if (spec.attempts == FaultSpec::kAlways) {
+      out += "_ALWAYS";
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "x%d", spec.attempts);
+      out += buffer;
+    }
+  }
+  return out.empty() ? "clean" : out;
+}
+
+FaultPlan FaultPlan::RandomSweep(uint64_t seed, int partitions,
+                                 bool allow_permanent) {
+  NDV_CHECK(partitions >= 0);
+  Rng rng(SplitMix64(seed) ^ 0xfa017ab5c3d21e47ULL);
+  FaultPlan plan;
+  for (int p = 0; p < partitions; ++p) {
+    // 40% clean, 60% split evenly over the four fault kinds.
+    const uint64_t roll = rng.NextBounded(10);
+    FaultSpec spec;
+    if (roll < 4) {
+      spec = FaultSpec::None();
+    } else {
+      switch (roll % 4) {
+        case 0: spec.kind = FaultKind::kFail; break;
+        case 1: spec.kind = FaultKind::kSlow; break;
+        case 2: spec.kind = FaultKind::kTruncate; break;
+        default: spec.kind = FaultKind::kCorrupt; break;
+      }
+      // Recoverable (1 or 2 bad attempts) or permanent.
+      const uint64_t duration = rng.NextBounded(allow_permanent ? 3 : 2);
+      spec.attempts =
+          duration == 2 ? FaultSpec::kAlways : static_cast<int>(duration) + 1;
+      if (spec.kind == FaultKind::kSlow) {
+        spec.delay_ms = 50 + static_cast<int64_t>(rng.NextBounded(400));
+      }
+    }
+    plan.Set(p, spec);
+  }
+  return plan;
+}
+
+}  // namespace ndv

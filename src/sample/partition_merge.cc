@@ -6,25 +6,47 @@
 
 namespace ndv {
 
-std::vector<uint64_t> MergePartitionSamples(
-    std::vector<PartitionSample> partitions, int64_t target, Rng& rng) {
-  NDV_CHECK(target >= 0);
-  int64_t total_population = 0;
-  for (const PartitionSample& partition : partitions) {
-    NDV_CHECK(partition.population >= 0);
-    NDV_CHECK(static_cast<int64_t>(partition.items.size()) <=
-              partition.population);
-    total_population += partition.population;
+Status ValidatePartitionSample(const PartitionSample& partition,
+                               int64_t target, int index) {
+  if (partition.population < 0) {
+    return InvalidArgumentError("partition %d: negative population %lld",
+                                index,
+                                static_cast<long long>(partition.population));
   }
-  NDV_CHECK_MSG(target <= total_population,
-                "cannot sample more rows than exist");
-  for (const PartitionSample& partition : partitions) {
-    const int64_t required = std::min(target, partition.population);
-    NDV_CHECK_MSG(static_cast<int64_t>(partition.items.size()) >= required,
-                  "partition sample too small to serve any allocation: "
-                  "have %lld, need %lld",
-                  static_cast<long long>(partition.items.size()),
-                  static_cast<long long>(required));
+  if (static_cast<int64_t>(partition.items.size()) > partition.population) {
+    return DataLossError(
+        "partition %d: sample of %lld items exceeds its population %lld",
+        index, static_cast<long long>(partition.items.size()),
+        static_cast<long long>(partition.population));
+  }
+  const int64_t required = std::min(target, partition.population);
+  if (static_cast<int64_t>(partition.items.size()) < required) {
+    return DataLossError(
+        "partition %d: sample too small to serve any allocation: "
+        "have %lld, need %lld",
+        index, static_cast<long long>(partition.items.size()),
+        static_cast<long long>(required));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint64_t>> MergePartitionSamplesOrStatus(
+    std::vector<PartitionSample> partitions, int64_t target, Rng& rng) {
+  if (target < 0) {
+    return InvalidArgumentError("negative merge target %lld",
+                                static_cast<long long>(target));
+  }
+  int64_t total_population = 0;
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    NDV_RETURN_IF_ERROR(ValidatePartitionSample(partitions[p], target,
+                                                static_cast<int>(p)));
+    total_population += partitions[p].population;
+  }
+  if (target > total_population) {
+    return InvalidArgumentError(
+        "cannot sample more rows than exist: target %lld > population %lld",
+        static_cast<long long>(target),
+        static_cast<long long>(total_population));
   }
 
   // Multivariate hypergeometric allocation: draw rows one at a time,
@@ -65,6 +87,14 @@ std::vector<uint64_t> MergePartitionSamples(
     }
   }
   return merged;
+}
+
+std::vector<uint64_t> MergePartitionSamples(
+    std::vector<PartitionSample> partitions, int64_t target, Rng& rng) {
+  auto merged =
+      MergePartitionSamplesOrStatus(std::move(partitions), target, rng);
+  NDV_CHECK_MSG(merged.ok(), "%s", merged.status().ToString().c_str());
+  return std::move(merged).value();
 }
 
 }  // namespace ndv

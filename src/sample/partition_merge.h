@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 
 namespace ndv {
 
@@ -28,12 +29,28 @@ struct PartitionSample {
                                  // (value hashes or row payloads)
 };
 
-// Draws `target` items. Requirements:
-//   * target <= sum of populations,
-//   * every partition's sample has at least min(target, population) items
-//     (so any hypergeometric allocation can be served). The common way to
-//     guarantee this: run a reservoir of capacity >= target per partition.
-// Deterministic in `rng`. The result order is unspecified.
+// Checks the preconditions MergePartitionSamples documents for partition
+// index `index` (used only in diagnostics): population >= 0, sample no
+// larger than its population, and sample large enough to serve any
+// hypergeometric allocation (>= min(target, population) items — the common
+// way to guarantee this is a reservoir of capacity >= target). Returns
+// InvalidArgument/DataLoss describing the first violation. The distributed
+// coordinator uses this to classify a worker reply as corrupt before
+// merging.
+Status ValidatePartitionSample(const PartitionSample& partition,
+                               int64_t target, int index);
+
+// Draws `target` items, validating every documented precondition:
+//   * target >= 0 and target <= sum of populations,
+//   * every partition passes ValidatePartitionSample.
+// On violation returns a typed error instead of silently producing a
+// non-uniform or out-of-bounds merge. Deterministic in `rng`; the rng is
+// only advanced on success. The result order is unspecified.
+StatusOr<std::vector<uint64_t>> MergePartitionSamplesOrStatus(
+    std::vector<PartitionSample> partitions, int64_t target, Rng& rng);
+
+// Aborting wrapper kept for callers that treat violations as programming
+// errors (tests, examples with locally-constructed inputs).
 std::vector<uint64_t> MergePartitionSamples(
     std::vector<PartitionSample> partitions, int64_t target, Rng& rng);
 

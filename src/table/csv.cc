@@ -23,6 +23,97 @@ void WriteField(std::string_view field, std::ostream& out) {
   out << '"';
 }
 
+struct ParsedCsv {
+  std::vector<std::vector<std::string>> rows;
+  // 1-based physical line (newlines inside quotes count) where each row
+  // starts; parallel to `rows`. Lets readers report ragged rows by the line
+  // a user would jump to, not a row index skewed by embedded newlines.
+  std::vector<int64_t> row_lines;
+};
+
+Status ParseCsvInto(std::string_view text, ParsedCsv* out) {
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once any char (or quote) seen in field
+  int64_t line = 1;            // current physical line
+  int64_t row_line = 1;        // line the current row started on
+  int64_t quote_line = 0;      // line the open quote started on
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    out->rows.push_back(std::move(row));
+    out->row_lines.push_back(row_line);
+    row.clear();
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field += c;
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        quote_line = line;
+        ++i;
+        break;
+      case ',':
+        end_field();
+        ++i;
+        break;
+      case '\r':
+        ++i;  // Tolerate CRLF.
+        break;
+      case '\n':
+        end_row();
+        ++line;
+        row_line = line;
+        ++i;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError(
+        "unterminated quote opened at line %lld",
+        static_cast<long long>(quote_line));
+  }
+  if (!field.empty() || field_started || !row.empty()) end_row();
+  return Status::Ok();
+}
+
+Status CheckRowWidth(const ParsedCsv& parsed, size_t r, size_t num_cols) {
+  if (parsed.rows[r].size() == num_cols) return Status::Ok();
+  return InvalidArgumentError(
+      "ragged row at line %lld: expected %zu fields, got %zu",
+      static_cast<long long>(parsed.row_lines[r]), num_cols,
+      parsed.rows[r].size());
+}
+
 }  // namespace
 
 void WriteCsv(const Table& table, std::ostream& out) {
@@ -40,69 +131,11 @@ void WriteCsv(const Table& table, std::ostream& out) {
   }
 }
 
-std::optional<std::vector<std::vector<std::string>>> ParseCsv(
+StatusOr<std::vector<std::vector<std::string>>> ParseCsvOrStatus(
     std::string_view text) {
-  std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> row;
-  std::string field;
-  bool in_quotes = false;
-  bool field_started = false;  // true once any char (or quote) seen in field
-  size_t i = 0;
-  const size_t n = text.size();
-  auto end_field = [&] {
-    row.push_back(std::move(field));
-    field.clear();
-    field_started = false;
-  };
-  auto end_row = [&] {
-    end_field();
-    rows.push_back(std::move(row));
-    row.clear();
-  };
-  while (i < n) {
-    const char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < n && text[i + 1] == '"') {
-          field += '"';
-          i += 2;
-        } else {
-          in_quotes = false;
-          ++i;
-        }
-      } else {
-        field += c;
-        ++i;
-      }
-      continue;
-    }
-    switch (c) {
-      case '"':
-        in_quotes = true;
-        field_started = true;
-        ++i;
-        break;
-      case ',':
-        end_field();
-        ++i;
-        break;
-      case '\r':
-        ++i;  // Tolerate CRLF.
-        break;
-      case '\n':
-        end_row();
-        ++i;
-        break;
-      default:
-        field += c;
-        field_started = true;
-        ++i;
-        break;
-    }
-  }
-  if (in_quotes) return std::nullopt;
-  if (!field.empty() || field_started || !row.empty()) end_row();
-  return rows;
+  ParsedCsv parsed;
+  NDV_RETURN_IF_ERROR(ParseCsvInto(text, &parsed));
+  return std::move(parsed.rows);
 }
 
 namespace {
@@ -125,21 +158,27 @@ bool ParseDouble(const std::string& field, double* out) {
 
 }  // namespace
 
-std::optional<Table> ReadCsvInferred(std::string_view text) {
-  auto rows = ParseCsv(text);
-  if (!rows.has_value() || rows->empty()) return std::nullopt;
-  const std::vector<std::string>& header = (*rows)[0];
+StatusOr<Table> ReadCsvInferredOrStatus(std::string_view text) {
+  ParsedCsv parsed;
+  NDV_RETURN_IF_ERROR(ParseCsvInto(text, &parsed));
+  if (parsed.rows.empty()) {
+    return InvalidArgumentError("empty CSV document: missing header row");
+  }
+  const std::vector<std::string>& header = parsed.rows[0];
   const size_t num_cols = header.size();
-  const size_t num_rows = rows->size() - 1;
+  const size_t num_rows = parsed.rows.size() - 1;
+
+  for (size_t r = 1; r < parsed.rows.size(); ++r) {
+    NDV_RETURN_IF_ERROR(CheckRowWidth(parsed, r, num_cols));
+  }
 
   Table table;
   for (size_t c = 0; c < num_cols; ++c) {
     // First pass: can every field be an int64? a double?
     bool all_int = num_rows > 0;
     bool all_double = num_rows > 0;
-    for (size_t r = 1; r < rows->size(); ++r) {
-      if ((*rows)[r].size() != num_cols) return std::nullopt;
-      const std::string& field = (*rows)[r][c];
+    for (size_t r = 1; r < parsed.rows.size(); ++r) {
+      const std::string& field = parsed.rows[r][c];
       int64_t i;
       double d;
       if (all_int && !ParseInt64(field, &i)) all_int = false;
@@ -148,23 +187,23 @@ std::optional<Table> ReadCsvInferred(std::string_view text) {
     }
     if (all_int) {
       std::vector<int64_t> values(num_rows);
-      for (size_t r = 1; r < rows->size(); ++r) {
-        ParseInt64((*rows)[r][c], &values[r - 1]);
+      for (size_t r = 1; r < parsed.rows.size(); ++r) {
+        ParseInt64(parsed.rows[r][c], &values[r - 1]);
       }
       table.AddColumn(header[c],
                       std::make_unique<Int64Column>(std::move(values)));
     } else if (all_double) {
       std::vector<double> values(num_rows);
-      for (size_t r = 1; r < rows->size(); ++r) {
-        ParseDouble((*rows)[r][c], &values[r - 1]);
+      for (size_t r = 1; r < parsed.rows.size(); ++r) {
+        ParseDouble(parsed.rows[r][c], &values[r - 1]);
       }
       table.AddColumn(header[c],
                       std::make_unique<DoubleColumn>(std::move(values)));
     } else {
       std::vector<std::string> values;
       values.reserve(num_rows);
-      for (size_t r = 1; r < rows->size(); ++r) {
-        values.push_back((*rows)[r][c]);
+      for (size_t r = 1; r < parsed.rows.size(); ++r) {
+        values.push_back(parsed.rows[r][c]);
       }
       table.AddColumn(header[c], std::make_unique<StringColumn>(values));
     }
@@ -172,16 +211,19 @@ std::optional<Table> ReadCsvInferred(std::string_view text) {
   return table;
 }
 
-std::optional<Table> ReadCsvAsStrings(std::string_view text) {
-  auto rows = ParseCsv(text);
-  if (!rows.has_value() || rows->empty()) return std::nullopt;
-  const std::vector<std::string>& header = (*rows)[0];
+StatusOr<Table> ReadCsvAsStringsOrStatus(std::string_view text) {
+  ParsedCsv parsed;
+  NDV_RETURN_IF_ERROR(ParseCsvInto(text, &parsed));
+  if (parsed.rows.empty()) {
+    return InvalidArgumentError("empty CSV document: missing header row");
+  }
+  const std::vector<std::string>& header = parsed.rows[0];
   const size_t num_cols = header.size();
   std::vector<std::vector<std::string>> columns(num_cols);
-  for (size_t r = 1; r < rows->size(); ++r) {
-    if ((*rows)[r].size() != num_cols) return std::nullopt;
+  for (size_t r = 1; r < parsed.rows.size(); ++r) {
+    NDV_RETURN_IF_ERROR(CheckRowWidth(parsed, r, num_cols));
     for (size_t c = 0; c < num_cols; ++c) {
-      columns[c].push_back(std::move((*rows)[r][c]));
+      columns[c].push_back(std::move(parsed.rows[r][c]));
     }
   }
   Table table;
@@ -189,6 +231,19 @@ std::optional<Table> ReadCsvAsStrings(std::string_view text) {
     table.AddColumn(header[c], std::make_unique<StringColumn>(columns[c]));
   }
   return table;
+}
+
+std::optional<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text) {
+  return ParseCsvOrStatus(text).ToOptional();
+}
+
+std::optional<Table> ReadCsvAsStrings(std::string_view text) {
+  return ReadCsvAsStringsOrStatus(text).ToOptional();
+}
+
+std::optional<Table> ReadCsvInferred(std::string_view text) {
+  return ReadCsvInferredOrStatus(text).ToOptional();
 }
 
 }  // namespace ndv

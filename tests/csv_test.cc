@@ -62,6 +62,58 @@ TEST(ParseCsvTest, EmptyDocument) {
   EXPECT_TRUE(rows->empty());
 }
 
+TEST(ParseCsvDiagnosticsTest, UnterminatedQuoteNamesItsLine) {
+  const auto result = ParseCsvOrStatus("a,b\n1,2\n3,\"oops\n4,5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(), "unterminated quote opened at line 3");
+}
+
+TEST(ParseCsvDiagnosticsTest, QuoteLineCountsEmbeddedNewlines) {
+  // The quoted field on line 2 swallows two newlines; the bad quote opens
+  // on physical line 4.
+  const auto result = ParseCsvOrStatus("h\n\"a\nb\nc\",\"unclosed\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "unterminated quote opened at line 4");
+}
+
+TEST(ReadCsvDiagnosticsTest, RaggedRowNamesLineAndWidths) {
+  const auto result = ReadCsvAsStringsOrStatus("a,b,c,d\n1,2,3,4\n5,6,7\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(),
+            "ragged row at line 3: expected 4 fields, got 3");
+}
+
+TEST(ReadCsvDiagnosticsTest, RaggedRowLineAccountsForQuotedNewlines) {
+  // Row 2 of data starts on physical line 4 because the first data row
+  // contains an embedded newline.
+  const auto result =
+      ReadCsvInferredOrStatus("a,b\n\"x\ny\",1\nonly-one-field\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(),
+            "ragged row at line 4: expected 2 fields, got 1");
+}
+
+TEST(ReadCsvDiagnosticsTest, EmptyDocumentIsMissingHeader) {
+  const auto result = ReadCsvAsStringsOrStatus("");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(),
+            "empty CSV document: missing header row");
+  EXPECT_EQ(ReadCsvInferredOrStatus("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReadCsvDiagnosticsTest, SuccessMatchesLegacyWrapper) {
+  const std::string text = "id,name\n1,ada\n2,grace\n";
+  const auto via_status = ReadCsvInferredOrStatus(text);
+  ASSERT_TRUE(via_status.ok());
+  const auto via_optional = ReadCsvInferred(text);
+  ASSERT_TRUE(via_optional.has_value());
+  EXPECT_EQ(via_status->NumRows(), via_optional->NumRows());
+  EXPECT_EQ(via_status->NumColumns(), via_optional->NumColumns());
+}
+
 TEST(WriteCsvTest, RoundTripsThroughParse) {
   Table table;
   table.AddColumn("id", std::make_unique<Int64Column>(

@@ -1,0 +1,114 @@
+#include "distributed/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "distributed/clock.h"
+
+namespace ndv {
+namespace {
+
+TEST(FaultPlanTest, EmptyPlanIsAlwaysClean) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.ActionFor(0, 0).kind, FaultKind::kNone);
+  EXPECT_EQ(plan.ActionFor(99, 5).kind, FaultKind::kNone);
+  EXPECT_EQ(plan.ToString(), "clean");
+}
+
+TEST(FaultPlanTest, FailOnceAffectsOnlyFirstAttempt) {
+  FaultPlan plan;
+  plan.Set(2, FaultSpec::FailOnce());
+  EXPECT_EQ(plan.ActionFor(2, 0).kind, FaultKind::kFail);
+  EXPECT_EQ(plan.ActionFor(2, 1).kind, FaultKind::kNone);
+  EXPECT_EQ(plan.ActionFor(1, 0).kind, FaultKind::kNone);
+}
+
+TEST(FaultPlanTest, FailAlwaysAffectsEveryAttempt) {
+  FaultPlan plan;
+  plan.Set(0, FaultSpec::FailAlways());
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    EXPECT_EQ(plan.ActionFor(0, attempt).kind, FaultKind::kFail);
+  }
+}
+
+TEST(FaultPlanTest, SlowCarriesDelay) {
+  FaultPlan plan;
+  plan.Set(1, FaultSpec::Slow(250, 2));
+  EXPECT_EQ(plan.ActionFor(1, 0).delay_ms, 250);
+  EXPECT_EQ(plan.ActionFor(1, 1).kind, FaultKind::kSlow);
+  EXPECT_EQ(plan.ActionFor(1, 2).kind, FaultKind::kNone);
+}
+
+TEST(FaultPlanTest, SetReplacesPreviousSpec) {
+  FaultPlan plan;
+  plan.Set(0, FaultSpec::FailAlways());
+  plan.Set(0, FaultSpec::None());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanTest, ToStringNamesEachFault) {
+  FaultPlan plan;
+  plan.Set(0, FaultSpec::FailAlways());
+  plan.Set(3, FaultSpec::Slow(200, 2));
+  plan.Set(4, FaultSpec::Corrupt(1));
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("p0:FAIL_ALWAYS"), std::string::npos) << text;
+  EXPECT_NE(text.find("p3:SLOW(200ms)x2"), std::string::npos) << text;
+  EXPECT_NE(text.find("p4:CORRUPTx1"), std::string::npos) << text;
+}
+
+TEST(FaultPlanTest, RandomSweepIsDeterministicInSeed) {
+  const FaultPlan a = FaultPlan::RandomSweep(17, 16);
+  const FaultPlan b = FaultPlan::RandomSweep(17, 16);
+  for (int p = 0; p < 16; ++p) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_EQ(a.ActionFor(p, attempt), b.ActionFor(p, attempt));
+    }
+  }
+}
+
+TEST(FaultPlanTest, RandomSweepCoversAllKindsAcrossSeeds) {
+  bool saw[5] = {false, false, false, false, false};
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    const FaultPlan plan = FaultPlan::RandomSweep(seed, 8);
+    for (int p = 0; p < 8; ++p) {
+      saw[static_cast<int>(plan.ActionFor(p, 0).kind)] = true;
+    }
+  }
+  EXPECT_TRUE(saw[static_cast<int>(FaultKind::kNone)]);
+  EXPECT_TRUE(saw[static_cast<int>(FaultKind::kFail)]);
+  EXPECT_TRUE(saw[static_cast<int>(FaultKind::kSlow)]);
+  EXPECT_TRUE(saw[static_cast<int>(FaultKind::kTruncate)]);
+  EXPECT_TRUE(saw[static_cast<int>(FaultKind::kCorrupt)]);
+}
+
+TEST(FaultPlanTest, RandomSweepWithoutPermanentFaultsRecoversInThreeAttempts) {
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    const FaultPlan plan =
+        FaultPlan::RandomSweep(seed, 8, /*allow_permanent=*/false);
+    for (int p = 0; p < 8; ++p) {
+      EXPECT_EQ(plan.ActionFor(p, 2).kind, FaultKind::kNone)
+          << "seed " << seed << " partition " << p;
+    }
+  }
+}
+
+TEST(VirtualClockTest, SleepAdvancesInstantly) {
+  VirtualClock clock(1000);
+  EXPECT_EQ(clock.NowMillis(), 1000);
+  clock.SleepMillis(250);
+  EXPECT_EQ(clock.NowMillis(), 1250);
+  clock.SleepMillis(0);
+  clock.SleepMillis(-5);  // Negative sleeps are ignored.
+  EXPECT_EQ(clock.NowMillis(), 1250);
+}
+
+TEST(SystemClockTest, IsMonotonic) {
+  Clock& clock = SystemClock();
+  const int64_t a = clock.NowMillis();
+  const int64_t b = clock.NowMillis();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -152,5 +152,106 @@ TEST(MergePartitionSamplesTest, ZeroTarget) {
   EXPECT_TRUE(MergePartitionSamples(partitions, 0, rng).empty());
 }
 
+TEST(MergePartitionSamplesOrStatusTest, MatchesAbortingWrapperOnValidInput) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  std::vector<PartitionSample> partitions_a;
+  partitions_a.push_back(FullPartition(0, 50));
+  partitions_a.push_back(FullPartition(1000, 30));
+  std::vector<PartitionSample> partitions_b = partitions_a;
+  const auto via_status =
+      MergePartitionSamplesOrStatus(std::move(partitions_a), 40, rng_a);
+  ASSERT_TRUE(via_status.ok());
+  EXPECT_EQ(*via_status, MergePartitionSamples(std::move(partitions_b), 40,
+                                               rng_b));
+}
+
+TEST(MergePartitionSamplesOrStatusTest, UndersizedSampleIsDataLoss) {
+  Rng rng(12);
+  std::vector<PartitionSample> partitions;
+  PartitionSample starved;
+  starved.population = 100;
+  starved.items = {1, 2, 3};
+  partitions.push_back(std::move(starved));
+  const auto result =
+      MergePartitionSamplesOrStatus(std::move(partitions), 10, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("have 3, need 10"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MergePartitionSamplesOrStatusTest, OversizedTargetIsInvalidArgument) {
+  Rng rng(13);
+  std::vector<PartitionSample> partitions;
+  partitions.push_back(FullPartition(0, 5));
+  const auto result =
+      MergePartitionSamplesOrStatus(std::move(partitions), 6, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("target 6 > population 5"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MergePartitionSamplesOrStatusTest, NegativeValuesAreInvalidArgument) {
+  Rng rng(14);
+  {
+    std::vector<PartitionSample> partitions;
+    partitions.push_back(FullPartition(0, 5));
+    EXPECT_EQ(MergePartitionSamplesOrStatus(std::move(partitions), -1, rng)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    std::vector<PartitionSample> partitions;
+    PartitionSample bad;
+    bad.population = -7;
+    partitions.push_back(std::move(bad));
+    EXPECT_EQ(MergePartitionSamplesOrStatus(std::move(partitions), 0, rng)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(MergePartitionSamplesOrStatusTest, SampleLargerThanPopulationIsDataLoss) {
+  Rng rng(15);
+  std::vector<PartitionSample> partitions;
+  PartitionSample inflated;
+  inflated.population = 2;
+  inflated.items = {1, 2, 3, 4};
+  partitions.push_back(std::move(inflated));
+  const auto result =
+      MergePartitionSamplesOrStatus(std::move(partitions), 2, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(MergePartitionSamplesOrStatusTest, RngUntouchedOnValidationFailure) {
+  // A rejected merge must not advance the rng: the caller can retry the
+  // partition and still get the bit-identical fault-free merge.
+  Rng used(16);
+  Rng fresh(16);
+  std::vector<PartitionSample> partitions;
+  partitions.push_back(FullPartition(0, 5));
+  EXPECT_FALSE(
+      MergePartitionSamplesOrStatus(std::move(partitions), 6, used).ok());
+  EXPECT_EQ(used.NextU64(), fresh.NextU64());
+}
+
+TEST(ValidatePartitionSampleTest, NamesThePartitionInDiagnostics) {
+  PartitionSample starved;
+  starved.population = 10;
+  starved.items = {1};
+  const Status status = ValidatePartitionSample(starved, 5, 7);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("partition 7"), std::string::npos)
+      << status.ToString();
+  EXPECT_TRUE(ValidatePartitionSample(FullPartition(0, 5), 5, 0).ok());
+}
+
 }  // namespace
 }  // namespace ndv

@@ -1,7 +1,12 @@
 #include "catalog/stats_catalog.h"
 
+#include <limits>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "datagen/real_world_like.h"
 #include "datagen/zipf.h"
 
@@ -78,6 +83,181 @@ TEST(StatsCatalogTest, EmptyCatalogSerializes) {
   const auto parsed = StatsCatalog::Deserialize(StatsCatalog().Serialize());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_TRUE(parsed->empty());
+}
+
+TEST(StatsCatalogTest, SerializesAsV2WithCoverageAndDegraded) {
+  StatsCatalog catalog;
+  ColumnStats stats = MakeStats("partial");
+  stats.coverage = 0.75;
+  stats.degraded = true;
+  catalog.Put(stats);
+  const std::string text = catalog.Serialize();
+  EXPECT_EQ(text.rfind("ndv-stats-v2\n", 0), 0u) << text;
+
+  const auto parsed = StatsCatalog::DeserializeOrStatus(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ColumnStats* found = parsed->Find("partial");
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->coverage, 0.75);
+  EXPECT_TRUE(found->degraded);
+}
+
+TEST(StatsCatalogTest, LegacyV1FilesStillDeserialize) {
+  // A file written by the previous release: v1 header, 8 fields, no
+  // coverage/degraded columns. Must load as complete (coverage 1).
+  const std::string v1_text =
+      "ndv-stats-v1\n"
+      "value|10000|100|80|100|80|8000|AE\n"
+      "with%7Cpipe|10000|100|80|3.25|80|8000|GEE\n";
+  const auto parsed = StatsCatalog::DeserializeOrStatus(v1_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->entries().size(), 2u);
+  const ColumnStats* value = parsed->Find("value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->table_rows, 10000);
+  EXPECT_DOUBLE_EQ(value->coverage, 1.0);
+  EXPECT_FALSE(value->degraded);
+  ASSERT_NE(parsed->Find("with|pipe"), nullptr);
+  EXPECT_EQ(parsed->Find("with|pipe")->method, "GEE");
+}
+
+TEST(StatsCatalogTest, DeserializeDiagnosticsNameLineAndField) {
+  {
+    const auto result = StatsCatalog::DeserializeOrStatus("");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "missing ndv-stats header line");
+  }
+  {
+    const auto result = StatsCatalog::DeserializeOrStatus("wrong-header\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("line 1: unknown header"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+  {
+    const auto result = StatsCatalog::DeserializeOrStatus(
+        "ndv-stats-v1\nvalue|10000|100|80|100|80|8000|AE\ntoo|few\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find(
+                  "line 3: expected 8 fields for a v1 entry, got 2"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+  {
+    const auto result = StatsCatalog::DeserializeOrStatus(
+        "ndv-stats-v1\nvalue|abc|100|80|100|80|8000|AE\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("line 2 field 2 (table_rows)"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+  {
+    const auto result = StatsCatalog::DeserializeOrStatus(
+        "ndv-stats-v1\nbad%zz|1|1|1|1|1|1|AE\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(
+        result.status().message().find("field 1 (column name): bad percent"),
+        std::string::npos)
+        << result.status().ToString();
+  }
+  {
+    const auto result = StatsCatalog::DeserializeOrStatus(
+        "ndv-stats-v2\nvalue|1|1|1|1|1|1|0.5|7|AE\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find(
+                  "field 9 (degraded): expected 0 or 1"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+// Fuzz-style round trip: adversarial names and extreme numeric values must
+// survive Serialize -> DeserializeOrStatus exactly.
+TEST(StatsCatalogTest, FuzzRoundTripAdversarialEntries) {
+  Rng rng(2024);
+  const std::vector<std::string> alphabet = {
+      "|", "%", "\n", "%%", "|%|", "a", "\t", " ", "\"", ",", "\\",
+      "%7C", "\x01", "\x7f", "\xc3\xa9" /* é */, "0", "ndv-stats-v1"};
+  const std::vector<double> extremes = {
+      0.0, -0.0, 1.0, -1.0, 1e308, -1e308, 5e-324, 1e-300,
+      123456789.123456789, std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity()};
+  const std::vector<int64_t> extreme_ints = {
+      0, 1, -1, std::numeric_limits<int64_t>::max(),
+      std::numeric_limits<int64_t>::min()};
+
+  for (int trial = 0; trial < 200; ++trial) {
+    StatsCatalog catalog;
+    ColumnStats stats;
+    // Random adversarial name (non-empty so Find is well-defined; a name
+    // dedupes against itself, which the comparison below accounts for by
+    // using a single entry).
+    const int pieces = static_cast<int>(rng.NextBounded(6)) + 1;
+    for (int i = 0; i < pieces; ++i) {
+      stats.column_name += alphabet[rng.NextBounded(alphabet.size())];
+    }
+    stats.method = alphabet[rng.NextBounded(alphabet.size())];
+    stats.table_rows = extreme_ints[rng.NextBounded(extreme_ints.size())];
+    stats.sample_rows = extreme_ints[rng.NextBounded(extreme_ints.size())];
+    stats.sample_distinct =
+        extreme_ints[rng.NextBounded(extreme_ints.size())];
+    stats.estimate = extremes[rng.NextBounded(extremes.size())];
+    stats.lower = extremes[rng.NextBounded(extremes.size())];
+    stats.upper = extremes[rng.NextBounded(extremes.size())];
+    stats.coverage = extremes[rng.NextBounded(extremes.size())];
+    stats.degraded = rng.NextBounded(2) == 1;
+    catalog.Put(stats);
+
+    const auto parsed = StatsCatalog::DeserializeOrStatus(catalog.Serialize());
+    ASSERT_TRUE(parsed.ok())
+        << "trial " << trial << ": " << parsed.status().ToString();
+    const ColumnStats* found = parsed->Find(stats.column_name);
+    ASSERT_NE(found, nullptr) << "trial " << trial;
+    EXPECT_EQ(found->method, stats.method);
+    EXPECT_EQ(found->table_rows, stats.table_rows);
+    EXPECT_EQ(found->sample_rows, stats.sample_rows);
+    EXPECT_EQ(found->sample_distinct, stats.sample_distinct);
+    EXPECT_EQ(found->estimate, stats.estimate);
+    EXPECT_EQ(found->lower, stats.lower);
+    EXPECT_EQ(found->upper, stats.upper);
+    EXPECT_EQ(found->coverage, stats.coverage);
+    EXPECT_EQ(found->degraded, stats.degraded);
+  }
+}
+
+// Fuzz-style robustness: random mutations of a valid serialization must
+// either parse or fail with a typed error — never crash.
+TEST(StatsCatalogTest, FuzzMutatedInputNeverCrashes) {
+  StatsCatalog catalog;
+  catalog.Put(MakeStats("alpha"));
+  catalog.Put(MakeStats("beta|%\n", 2.5));
+  const std::string good = catalog.Serialize();
+
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = good;
+    const int edits = static_cast<int>(rng.NextBounded(4)) + 1;
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.NextBounded(mutated.size());
+      switch (rng.NextBounded(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextBounded(256));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.NextBounded(256)));
+          break;
+      }
+    }
+    const auto result = StatsCatalog::DeserializeOrStatus(mutated);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
 }
 
 TEST(AnalyzeTableTest, ProducesOneEntryPerColumn) {

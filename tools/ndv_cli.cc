@@ -1,17 +1,20 @@
 // ndv_cli — command-line front end for the library.
 //
 // Subcommands:
-//   generate   synthesize a dataset and write it as CSV
-//   estimate   sample one column of a CSV file and run estimators
-//   analyze    build a statistics catalog for every column of a CSV file
-//   sketch     full-scan probabilistic counting over one column
-//   lowerbound evaluate the Theorem 1 bound for given n, r, gamma
+//   generate    synthesize a dataset and write it as CSV
+//   estimate    sample one column of a CSV file and run estimators
+//   analyze     build a statistics catalog for every column of a CSV file
+//   distributed fault-tolerant coordinator/worker ANALYZE of one column
+//   sketch      full-scan probabilistic counting over one column
+//   lowerbound  evaluate the Theorem 1 bound for given n, r, gamma
 //
 // Examples:
 //   ndv_cli generate --kind=zipf --rows=100000 --z=1 --dup=10 --out=data.csv
 //   ndv_cli estimate --in=data.csv --column=value --fraction=0.01
 //   ndv_cli analyze --in=data.csv --fraction=0.05 --out=stats.ndv
 //   ndv_cli analyze --in=data.csv --threads=8   # or NDV_THREADS=8
+//   ndv_cli distributed --in=data.csv --column=value --partitions=8
+//   ndv_cli distributed --in=data.csv --fail=0,3   # degraded interval demo
 //   ndv_cli sketch --in=data.csv --column=value
 //   ndv_cli lowerbound --n=1000000 --r=10000 --gamma=0.5
 
@@ -25,6 +28,7 @@
 
 #include "catalog/stats_catalog.h"
 #include "core/all_estimators.h"
+#include "distributed/distributed_analyze.h"
 #include "core/bootstrap_interval.h"
 #include "core/gee.h"
 #include "core/lower_bound.h"
@@ -86,9 +90,11 @@ ndv::Table LoadCsvTable(const std::string& path) {
   if (!in) Fail("cannot open " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  auto table = ndv::ReadCsvInferred(buffer.str());
-  if (!table.has_value()) Fail("malformed CSV in " + path);
-  return std::move(*table);
+  auto table = ndv::ReadCsvInferredOrStatus(buffer.str());
+  if (!table.ok()) {
+    Fail("malformed CSV in " + path + ": " + table.status().message());
+  }
+  return std::move(table).value();
 }
 
 const ndv::Column& FindColumnOrDie(const ndv::Table& table,
@@ -224,6 +230,63 @@ int CmdAnalyze(const Flags& flags) {
   return 0;
 }
 
+int CmdDistributed(const Flags& flags) {
+  const std::string in_path = GetFlag(flags, "in", "");
+  if (in_path.empty()) Fail("--in is required");
+  const ndv::Table table = LoadCsvTable(in_path);
+  const std::string column_name =
+      GetFlag(flags, "column", table.column_name(0));
+  const ndv::Column& column = FindColumnOrDie(table, column_name);
+
+  ndv::DistributedAnalyzeOptions options;
+  options.partitions = static_cast<int>(GetInt(flags, "partitions", 8));
+  options.sample_rows = GetInt(flags, "sample", 10000);
+  options.estimator = GetFlag(flags, "estimator", "AE");
+  options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  options.threads = static_cast<int>(GetInt(flags, "threads", 0));
+  options.max_attempts = static_cast<int>(GetInt(flags, "max-attempts", 3));
+
+  // --fail=0,3 permanently fails those partitions: a live demonstration of
+  // graceful degradation. Injected faults run on a virtual clock so the
+  // retry backoff costs no wall-clock time.
+  ndv::FaultPlan faults;
+  ndv::VirtualClock virtual_clock;
+  const std::string fail_list = GetFlag(flags, "fail", "");
+  if (!fail_list.empty()) {
+    std::stringstream stream(fail_list);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      faults.Set(static_cast<int>(std::stoll(token)),
+                 ndv::FaultSpec::FailAlways());
+    }
+    options.faults = &faults;
+    options.clock = &virtual_clock;
+  }
+
+  const auto result =
+      ndv::DistributedAnalyze(column, column_name, options);
+  if (!result.ok()) Fail(result.status().ToString());
+
+  ndv::TextTable outcome_table({"partition", "rows", "attempts", "state"});
+  for (const ndv::PartitionOutcome& outcome : result->outcomes) {
+    outcome_table.AddRow({std::to_string(outcome.partition),
+                          std::to_string(outcome.rows),
+                          std::to_string(outcome.attempts),
+                          std::string(PartitionStateName(outcome.state))});
+  }
+  outcome_table.Print(std::cout);
+
+  const ndv::ColumnStats& stats = result->stats;
+  std::printf("\ncolumn '%s': %lld rows, %.1f%% scanned (%s)\n",
+              stats.column_name.c_str(),
+              static_cast<long long>(stats.table_rows),
+              100.0 * stats.coverage,
+              stats.degraded ? "DEGRADED" : "complete");
+  std::printf("%s estimate = %.0f, interval [%.0f, %.0f]\n",
+              stats.method.c_str(), stats.estimate, stats.lower, stats.upper);
+  return 0;
+}
+
 int CmdSketch(const Flags& flags) {
   const std::string in_path = GetFlag(flags, "in", "");
   if (in_path.empty()) Fail("--in is required");
@@ -261,7 +324,8 @@ int CmdLowerBound(const Flags& flags) {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: ndv_cli <generate|estimate|analyze|sketch|lowerbound> "
+               "usage: ndv_cli "
+               "<generate|estimate|analyze|distributed|sketch|lowerbound> "
                "[--flag=value ...]\nsee the header of tools/ndv_cli.cc for "
                "examples\n");
 }
@@ -278,6 +342,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "estimate") return CmdEstimate(flags);
   if (command == "analyze") return CmdAnalyze(flags);
+  if (command == "distributed") return CmdDistributed(flags);
   if (command == "sketch") return CmdSketch(flags);
   if (command == "lowerbound") return CmdLowerBound(flags);
   PrintUsage();
