@@ -33,10 +33,9 @@ int main() {
   std::printf("Full-scan sketches (read 100%% of rows):\n");
   ndv::TextTable sketch_table(
       {"counter", "estimate", "ratio error", "memory (bytes)", "rows read"});
+  const std::vector<uint64_t> hashes = column->HashAll();
   for (auto& counter : ndv::MakeAllDistinctCounters()) {
-    for (int64_t row = 0; row < column->size(); ++row) {
-      counter->Add(column->HashAt(row));
-    }
+    counter->AddBatch(hashes);
     const double estimate = counter->Estimate();
     sketch_table.AddRow({std::string(counter->name()),
                          ndv::FormatDouble(estimate, 0),

@@ -58,6 +58,13 @@ struct AnalyzeOptions {
   // Per-column RNGs are pre-forked sequentially from `seed`, so results
   // are identical regardless of thread count.
   int threads = 0;
+  // Ground-truth mode: scan every row of every column and record the exact
+  // distinct count (method "EXACT", lower == estimate == upper, zero
+  // sampling error). Uses the parallel scan-and-count kernel, so `threads`
+  // (or NDV_THREADS) accelerates the full-table pass; the counts are
+  // bit-identical at every thread count. `sample_fraction`, `seed`, and
+  // `estimator` are ignored in this mode.
+  bool exact = false;
 };
 
 class StatsCatalog {

@@ -68,9 +68,20 @@ StatusOr<WorkerReply> ScanPartitionAttempt(
     }
   }
 
+  // Algorithm L discards most rows once the reservoir fills; honor its
+  // skip schedule so only kept rows are hashed. Bit-identical to feeding
+  // every row (skips consume no randomness), but the scan cost drops from
+  // O(rows) to O(capacity * log(rows / capacity)) hash calls.
   ReservoirSamplerL reservoir(capacity, rng);
-  for (int64_t row = begin; row < end; ++row) {
+  for (int64_t row = begin; row < end;) {
+    const int64_t skip = std::min(reservoir.DiscardRunLength(), end - row);
+    if (skip > 0) {
+      reservoir.SkipDiscarded(skip);
+      row += skip;
+      continue;
+    }
     reservoir.Add(column.HashAt(row));
+    ++row;
   }
   WorkerReply reply;
   reply.sample.population = end - begin;

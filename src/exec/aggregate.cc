@@ -1,27 +1,34 @@
 #include "exec/aggregate.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace ndv {
 
 AggregateStats HashAggregateCount(const Column& column,
                                   std::vector<GroupCount>* result) {
-  std::unordered_map<uint64_t, int64_t> groups;
+  constexpr int64_t kBlock = 4096;
+  uint64_t block[kBlock];
+  FlatHashCounter groups;
   const int64_t n = column.size();
-  for (int64_t row = 0; row < n; ++row) {
-    ++groups[column.HashAt(row)];
+  for (int64_t b = 0; b < n; b += kBlock) {
+    const int64_t block_end = std::min(n, b + kBlock);
+    column.HashSlice(b, block_end, block);
+    const int64_t count = block_end - b;
+    for (int64_t i = 0; i < count; ++i) groups.Add(block[i]);
   }
   AggregateStats stats;
   stats.rows = n;
-  stats.groups = static_cast<int64_t>(groups.size());
-  stats.peak_group_table_entries = stats.groups;
+  stats.groups = groups.size();
+  stats.peak_group_table_entries = groups.PeakCapacity();
+  stats.group_table_load_factor = groups.LoadFactor();
   if (result != nullptr) {
     result->clear();
-    result->reserve(groups.size());
-    for (const auto& [group, rows] : groups) {
+    result->reserve(static_cast<size_t>(groups.size()));
+    groups.ForEach([result](uint64_t group, int64_t rows) {
       result->push_back({group, rows});
-    }
+    });
   }
   return stats;
 }
@@ -29,11 +36,7 @@ AggregateStats HashAggregateCount(const Column& column,
 AggregateStats SortAggregateCount(const Column& column,
                                   std::vector<GroupCount>* result) {
   const int64_t n = column.size();
-  std::vector<uint64_t> hashes;
-  hashes.reserve(static_cast<size_t>(n));
-  for (int64_t row = 0; row < n; ++row) {
-    hashes.push_back(column.HashAt(row));
-  }
+  std::vector<uint64_t> hashes = column.HashAll();
   std::sort(hashes.begin(), hashes.end());
 
   AggregateStats stats;

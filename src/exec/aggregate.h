@@ -23,7 +23,14 @@ struct GroupCount {
 struct AggregateStats {
   int64_t groups = 0;
   int64_t rows = 0;
-  int64_t peak_group_table_entries = 0;  // memory proxy
+  // True peak group-table capacity in slots (the largest table the hash
+  // aggregation ever allocated — a power of two >= groups), not the final
+  // group count: an executor budgeting memory must account for the table,
+  // not the survivors. 0 for sort aggregation, which keeps no table.
+  int64_t peak_group_table_entries = 0;
+  // Final occupancy of the group table, groups / capacity (<= 0.75 by the
+  // flat counter's growth policy); 0 for sort aggregation.
+  double group_table_load_factor = 0.0;
 };
 
 // COUNT(*) GROUP BY column via a hash table. `result` (optional) receives

@@ -1,7 +1,6 @@
 #include "profile/frequency_profile.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
 
@@ -31,11 +30,19 @@ FrequencyProfile FrequencyProfile::FromFrequencyCounts(
 
 FrequencyProfile FrequencyProfile::FromValues(
     std::span<const uint64_t> values) {
-  std::unordered_map<uint64_t, int64_t> counts;
-  counts.reserve(values.size());
-  for (uint64_t v : values) ++counts[v];
+  // Deliberately unreserved: the distinct count is typically far below
+  // values.size(), and growing from small keeps the table cache-resident
+  // (reserving for every value would zero and probe a mostly-empty table).
+  FlatHashCounter counts;
+  for (uint64_t v : values) counts.Add(v);
+  return FromHashCounter(counts);
+}
+
+FrequencyProfile FrequencyProfile::FromHashCounter(
+    const FlatHashCounter& counts) {
   FrequencyProfile profile;
-  for (const auto& [value, count] : counts) profile.Add(count);
+  counts.ForEach(
+      [&profile](uint64_t /*key*/, int64_t count) { profile.Add(count); });
   return profile;
 }
 

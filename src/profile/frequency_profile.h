@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
+
 namespace ndv {
 
 // The frequency-of-frequencies profile of a multiset: f(i) is the number of
@@ -31,6 +33,13 @@ class FrequencyProfile {
 
   // Builds a profile from raw (hashed) sample values.
   static FrequencyProfile FromValues(std::span<const uint64_t> values);
+
+  // Builds a profile from an already-populated hash -> multiplicity
+  // counter. This is the zero-copy end of the streaming pipeline: scan ->
+  // batch hash -> FlatHashCounter -> profile, with no intermediate value
+  // vector. The result only depends on the multiset of counts, not on the
+  // counter's iteration order.
+  static FrequencyProfile FromHashCounter(const FlatHashCounter& counts);
 
   // Number of classes occurring exactly `i` times; 0 outside [1, MaxFrequency].
   int64_t f(int64_t i) const {

@@ -1,5 +1,6 @@
 #include "sample/samplers.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
@@ -159,6 +160,16 @@ void ReservoirSamplerL::ScheduleNextAcceptance() {
   const double skip = std::fmin(std::floor(std::log(u) / std::log1p(-w_)),
                                 9.0e18);
   next_accept_ = seen_ + static_cast<int64_t>(skip);
+}
+
+int64_t ReservoirSamplerL::DiscardRunLength() const {
+  if (static_cast<int64_t>(reservoir_.size()) < capacity_) return 0;
+  return std::max<int64_t>(0, next_accept_ - seen_);
+}
+
+void ReservoirSamplerL::SkipDiscarded(int64_t count) {
+  NDV_CHECK(0 <= count && count <= DiscardRunLength());
+  seen_ += count;
 }
 
 void ReservoirSamplerL::Add(uint64_t item) {

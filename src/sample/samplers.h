@@ -78,6 +78,19 @@ class ReservoirSamplerL {
 
   void Add(uint64_t item);
 
+  // Number of upcoming Add() calls guaranteed to discard their item (0
+  // while the reservoir is still filling, or when the next item is kept).
+  // Algorithm L's skip schedule is decided before the skipped items are
+  // seen, so a scan may avoid computing their payloads entirely: skip up
+  // to this many items via SkipDiscarded() instead of hashing + Add().
+  int64_t DiscardRunLength() const;
+
+  // Advances the stream past `count` items without inspecting them.
+  // Requires 0 <= count <= DiscardRunLength(). Consumes no randomness:
+  // a SkipDiscarded(k) followed by Add(x) leaves the sampler in exactly
+  // the state k discarding Add() calls followed by Add(x) would.
+  void SkipDiscarded(int64_t count);
+
   int64_t items_seen() const { return seen_; }
   const std::vector<uint64_t>& sample() const { return reservoir_; }
 

@@ -2,6 +2,7 @@
 #define NDV_SKETCH_DISTINCT_COUNTER_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 namespace ndv {
@@ -23,6 +24,13 @@ class DistinctCounter {
   // Feeds one value occurrence. Duplicate hashes are expected and ignored
   // by construction.
   virtual void Add(uint64_t hash) = 0;
+
+  // Feeds a batch of value occurrences; pairs with Column::HashSlice /
+  // HashRange so a full-column feed is two tight loops instead of two
+  // virtual calls per row. Equivalent to calling Add per element in order.
+  virtual void AddBatch(std::span<const uint64_t> hashes) {
+    for (uint64_t hash : hashes) Add(hash);
+  }
 
   // Current estimate of the number of distinct values added.
   virtual double Estimate() const = 0;

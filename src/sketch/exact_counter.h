@@ -2,31 +2,30 @@
 #define NDV_SKETCH_EXACT_COUNTER_H_
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "sketch/distinct_counter.h"
 
 namespace ndv {
 
-// Exact distinct counting via a hash set — the full-scan, full-memory
+// Exact distinct counting via a flat hash set — the full-scan, full-memory
 // reference point (the "sort or hash" traditional approach from the
 // paper's introduction).
 class ExactCounter final : public DistinctCounter {
  public:
   std::string_view name() const override { return "Exact"; }
-  void Add(uint64_t hash) override { seen_.insert(hash); }
+  void Add(uint64_t hash) override { seen_.Insert(hash); }
+  void AddBatch(std::span<const uint64_t> hashes) override {
+    for (uint64_t hash : hashes) seen_.Insert(hash);
+  }
   double Estimate() const override {
     return static_cast<double>(seen_.size());
   }
-  int64_t MemoryBytes() const override {
-    // Approximation: bucket array + one node per element.
-    return static_cast<int64_t>(seen_.bucket_count() * 8 +
-                                seen_.size() * 16);
-  }
+  int64_t MemoryBytes() const override { return seen_.MemoryBytes(); }
 
  private:
-  std::unordered_set<uint64_t> seen_;
+  FlatHashSet seen_;
 };
 
 // All sketch counters at sensible default sizes (plus the exact counter),

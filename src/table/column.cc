@@ -28,14 +28,95 @@ uint64_t HashBytes(std::string_view bytes) {
   return Hash64(h);
 }
 
-uint64_t DoubleColumn::HashAt(int64_t row) const {
-  NDV_DCHECK(0 <= row && row < size());
-  double v = values_[static_cast<size_t>(row)];
+namespace {
+
+// Shared by DoubleColumn::HashAt and the batch loops so the two paths are
+// bit-identical: -0.0 canonicalized to +0.0, every NaN payload collapsed
+// into one class.
+inline uint64_t HashDoubleValue(double v) {
   if (v == 0.0) v = 0.0;  // Canonicalize -0.0.
   if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   return Hash64(bits);
+}
+
+}  // namespace
+
+void Column::HashRange(std::span<const int64_t> rows, uint64_t* out) const {
+  // Generic fallback for column types without a batched loop: still one
+  // virtual call per row, but callers get the batch interface uniformly.
+  for (size_t i = 0; i < rows.size(); ++i) out[i] = HashAt(rows[i]);
+}
+
+void Column::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  for (int64_t row = begin; row < end; ++row) out[row - begin] = HashAt(row);
+}
+
+std::vector<uint64_t> Column::HashAll() const {
+  std::vector<uint64_t> hashes(static_cast<size_t>(size()));
+  HashSlice(0, size(), hashes.data());
+  return hashes;
+}
+
+void Int64Column::HashRange(std::span<const int64_t> rows,
+                            uint64_t* out) const {
+  const int64_t* values = values_.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
+    out[i] = Hash64(static_cast<uint64_t>(values[rows[i]]));
+  }
+}
+
+void Int64Column::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  const int64_t* values = values_.data() + begin;
+  const int64_t count = end - begin;
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = Hash64(static_cast<uint64_t>(values[i]));
+  }
+}
+
+uint64_t DoubleColumn::HashAt(int64_t row) const {
+  NDV_DCHECK(0 <= row && row < size());
+  return HashDoubleValue(values_[static_cast<size_t>(row)]);
+}
+
+void DoubleColumn::HashRange(std::span<const int64_t> rows,
+                             uint64_t* out) const {
+  const double* values = values_.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
+    out[i] = HashDoubleValue(values[rows[i]]);
+  }
+}
+
+void DoubleColumn::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  const double* values = values_.data() + begin;
+  const int64_t count = end - begin;
+  for (int64_t i = 0; i < count; ++i) out[i] = HashDoubleValue(values[i]);
+}
+
+void StringColumn::HashRange(std::span<const int64_t> rows,
+                             uint64_t* out) const {
+  const int32_t* codes = codes_.data();
+  const uint64_t* hashes = hashes_.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
+    out[i] = hashes[static_cast<size_t>(codes[rows[i]])];
+  }
+}
+
+void StringColumn::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  const int32_t* codes = codes_.data() + begin;
+  const uint64_t* hashes = hashes_.data();
+  const int64_t count = end - begin;
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = hashes[static_cast<size_t>(codes[i])];
+  }
 }
 
 StringColumn::StringColumn(const std::vector<std::string>& values) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,19 @@ class Column {
   // Requires 0 <= row < size().
   virtual uint64_t HashAt(int64_t row) const = 0;
 
+  // Batch hashing — semantically identical to calling HashAt per row, but
+  // one virtual call per batch instead of one per row, with a tight
+  // per-type inner loop underneath. Every bulk consumer (profiles, exact
+  // NDV, aggregation, sketches) should go through these.
+  //
+  // Gather: out[i] = HashAt(rows[i]). Requires each row in [0, size()).
+  virtual void HashRange(std::span<const int64_t> rows, uint64_t* out) const;
+  // Contiguous: out[i] = HashAt(begin + i) for i in [0, end - begin).
+  // Requires 0 <= begin <= end <= size().
+  virtual void HashSlice(int64_t begin, int64_t end, uint64_t* out) const;
+  // Convenience: hashes of all rows, in row order.
+  std::vector<uint64_t> HashAll() const;
+
   // Debug rendering of the value at `row`.
   virtual std::string ValueToString(int64_t row) const = 0;
 };
@@ -52,6 +66,8 @@ class Int64Column final : public Column {
     NDV_DCHECK(0 <= row && row < size());
     return Hash64(static_cast<uint64_t>(values_[static_cast<size_t>(row)]));
   }
+  void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
+  void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
   std::string ValueToString(int64_t row) const override {
     return std::to_string(values_[static_cast<size_t>(row)]);
   }
@@ -74,6 +90,8 @@ class DoubleColumn final : public Column {
     return static_cast<int64_t>(values_.size());
   }
   uint64_t HashAt(int64_t row) const override;
+  void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
+  void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
   std::string ValueToString(int64_t row) const override {
     return std::to_string(values_[static_cast<size_t>(row)]);
   }
@@ -102,6 +120,8 @@ class StringColumn final : public Column {
     NDV_DCHECK(0 <= row && row < size());
     return hashes_[static_cast<size_t>(codes_[static_cast<size_t>(row)])];
   }
+  void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
+  void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
   std::string ValueToString(int64_t row) const override {
     return dictionary_[static_cast<size_t>(codes_[static_cast<size_t>(row)])];
   }

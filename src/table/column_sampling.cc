@@ -1,25 +1,32 @@
 #include "table/column_sampling.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "common/check.h"
+#include "common/flat_hash.h"
 #include "sample/samplers.h"
 
 namespace ndv {
 
 SampleSummary SummarizeRows(const Column& column,
                             std::span<const int64_t> rows) {
-  std::vector<uint64_t> hashes;
-  hashes.reserve(rows.size());
-  for (int64_t row : rows) {
-    NDV_DCHECK(0 <= row && row < column.size());
-    hashes.push_back(column.HashAt(row));
+  // One streamed pass: batch-hash a block of sampled rows, feed the hashes
+  // straight into the flat counter, reduce the counter to the profile. No
+  // intermediate per-sample hash vector is materialized.
+  constexpr size_t kBlock = 2048;
+  uint64_t block[kBlock];
+  FlatHashCounter counts;  // unreserved: d is typically far below r
+  for (size_t offset = 0; offset < rows.size(); offset += kBlock) {
+    const size_t count = std::min(kBlock, rows.size() - offset);
+    column.HashRange(rows.subspan(offset, count), block);
+    for (size_t i = 0; i < count; ++i) counts.Add(block[i]);
   }
   SampleSummary summary;
   summary.table_rows = column.size();
   summary.sample_rows = static_cast<int64_t>(rows.size());
-  summary.freq = FrequencyProfile::FromValues(hashes);
+  summary.freq = FrequencyProfile::FromHashCounter(counts);
   summary.Validate();
   return summary;
 }

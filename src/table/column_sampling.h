@@ -10,8 +10,9 @@
 
 namespace ndv {
 
-// Glue between row sampling and the frequency profile: extracts the sampled
-// values of a column and reduces them to a SampleSummary.
+// Glue between row sampling and the frequency profile: batch-hashes the
+// sampled rows of a column and streams them through a flat counter into a
+// SampleSummary (one pass, no intermediate hash vector).
 
 enum class SamplingScheme {
   kWithReplacement,

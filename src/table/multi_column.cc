@@ -1,5 +1,7 @@
 #include "table/multi_column.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/random.h"
 
@@ -36,6 +38,51 @@ uint64_t CombinedColumn::HashAt(int64_t row) const {
     h = Hash64(h ^ column->HashAt(row));
   }
   return h;
+}
+
+namespace {
+
+// Component hashes are produced in blocks of this many rows, then folded
+// into the running tuple hash; keeps the scratch buffer in L1 while still
+// amortizing each component's virtual call over the block.
+constexpr int64_t kCombineBlock = 1024;
+
+}  // namespace
+
+void CombinedColumn::HashRange(std::span<const int64_t> rows,
+                               uint64_t* out) const {
+  uint64_t component[kCombineBlock];
+  for (size_t offset = 0; offset < rows.size(); offset += kCombineBlock) {
+    const size_t count =
+        std::min(static_cast<size_t>(kCombineBlock), rows.size() - offset);
+    uint64_t* block = out + offset;
+    for (size_t i = 0; i < count; ++i) block[i] = 0x9e3779b97f4a7c15ULL;
+    for (const Column* column : columns_) {
+      column->HashRange(rows.subspan(offset, count), component);
+      for (size_t i = 0; i < count; ++i) {
+        block[i] = Hash64(block[i] ^ component[i]);
+      }
+    }
+  }
+}
+
+void CombinedColumn::HashSlice(int64_t begin, int64_t end,
+                               uint64_t* out) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= rows_);
+  uint64_t component[kCombineBlock];
+  for (int64_t block_begin = begin; block_begin < end;
+       block_begin += kCombineBlock) {
+    const int64_t block_end = std::min(end, block_begin + kCombineBlock);
+    const int64_t count = block_end - block_begin;
+    uint64_t* block = out + (block_begin - begin);
+    for (int64_t i = 0; i < count; ++i) block[i] = 0x9e3779b97f4a7c15ULL;
+    for (const Column* column : columns_) {
+      column->HashSlice(block_begin, block_end, component);
+      for (int64_t i = 0; i < count; ++i) {
+        block[i] = Hash64(block[i] ^ component[i]);
+      }
+    }
+  }
 }
 
 std::string CombinedColumn::ValueToString(int64_t row) const {

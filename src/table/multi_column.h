@@ -27,6 +27,8 @@ class CombinedColumn final : public Column {
   ColumnType type() const override { return ColumnType::kInt64; }
   int64_t size() const override { return rows_; }
   uint64_t HashAt(int64_t row) const override;
+  void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
+  void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
   std::string ValueToString(int64_t row) const override;
 
   int64_t NumComponents() const {

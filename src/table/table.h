@@ -48,11 +48,17 @@ class Table {
   int64_t num_rows_ = 0;
 };
 
-// Exact number of distinct values in `column`, via a hash set over value
-// hashes. O(n) time, O(D) space. (Hash collisions across *distinct* values
-// would undercount; with 64-bit hashes the probability is ~D^2/2^64,
-// negligible at this library's scales.)
-int64_t ExactDistinctHashSet(const Column& column);
+// Exact number of distinct values in `column`, via a flat hash set over
+// batch-computed value hashes. O(n) time, O(D) space. (Hash collisions
+// across *distinct* values would undercount; with 64-bit hashes the
+// probability is ~D^2/2^64, negligible at this library's scales.)
+//
+// Large columns are scanned in parallel on the shared pool: each chunk
+// builds a private set and the chunks are unioned afterwards, so the count
+// is bit-identical at every thread count (set union is order-independent).
+// `threads`: 0 = auto (DefaultThreadCount(), honors NDV_THREADS); 1 = run
+// inline; nested calls from pool workers always run inline.
+int64_t ExactDistinctHashSet(const Column& column, int threads = 0);
 
 // Exact distinct count via sort; O(n log n) time but no hash-collision
 // caveat within the sorted hash space. Used to cross-check the hash-set

@@ -45,8 +45,16 @@ TEST(AggregateTest, MatchesExactDistinctOnZipfData) {
   const AggregateStats sort_stats = SortAggregateCount(*column);
   EXPECT_EQ(hash_stats.groups, ExactDistinctHashSet(*column));
   EXPECT_EQ(hash_stats.groups, sort_stats.groups);
-  EXPECT_EQ(hash_stats.peak_group_table_entries, hash_stats.groups);
+  // peak_group_table_entries is the true peak table capacity: a power of
+  // two, at least as large as the group count, never loaded past 3/4.
+  EXPECT_GE(hash_stats.peak_group_table_entries, hash_stats.groups);
+  EXPECT_EQ(hash_stats.peak_group_table_entries &
+                (hash_stats.peak_group_table_entries - 1),
+            0);
+  EXPECT_GT(hash_stats.group_table_load_factor, 0.0);
+  EXPECT_LE(hash_stats.group_table_load_factor, 0.75);
   EXPECT_EQ(sort_stats.peak_group_table_entries, 0);
+  EXPECT_EQ(sort_stats.group_table_load_factor, 0.0);
 }
 
 TEST(PlannerTest, StrategySelectionAgainstBudget) {

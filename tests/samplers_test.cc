@@ -198,5 +198,50 @@ TEST(ReservoirLTest, LongStreamStaysUniform) {
   EXPECT_NEAR(first_half, kTrials, kTrials * 0.1);
 }
 
+TEST(ReservoirLTest, SkipDiscardedMatchesPlainAddExactly) {
+  // Driving the sampler through the skip schedule must leave it in the
+  // exact state the plain Add-every-item loop produces: same sample, same
+  // items_seen, after every prefix length. SkipDiscarded consumes no
+  // randomness, so the two runs stay in lockstep forever.
+  for (uint64_t seed : {1ULL, 17ULL, 92ULL}) {
+    ReservoirSamplerL plain(8, Rng(seed));
+    ReservoirSamplerL skipping(8, Rng(seed));
+    constexpr int64_t kStream = 50000;
+    int64_t next = 0;  // next item index the skipping sampler will consume
+    for (int64_t i = 0; i < kStream; ++i) {
+      plain.Add(i * 0x9e3779b97f4a7c15ULL);
+      while (next <= i) {
+        // Partial skips are legal (count <= DiscardRunLength), so cap at
+        // the prefix boundary to keep both samplers comparable at i.
+        const int64_t skip =
+            std::min(skipping.DiscardRunLength(), i + 1 - next);
+        if (skip > 0) {
+          skipping.SkipDiscarded(skip);
+          next += skip;
+        } else {
+          skipping.Add(static_cast<uint64_t>(next) * 0x9e3779b97f4a7c15ULL);
+          ++next;
+        }
+      }
+      if (i % 997 == 0 || i + 1 == kStream) {
+        ASSERT_EQ(skipping.items_seen(), plain.items_seen()) << "i=" << i;
+        ASSERT_EQ(skipping.sample(), plain.sample()) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ReservoirLTest, DiscardRunLengthIsZeroWhileFilling) {
+  ReservoirSamplerL sampler(4, Rng(7));
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sampler.DiscardRunLength(), 0);
+    sampler.Add(i);
+  }
+  // Past capacity a skip run may (and with high probability eventually
+  // does) appear; SkipDiscarded(0) is always legal.
+  sampler.SkipDiscarded(0);
+  EXPECT_GE(sampler.DiscardRunLength(), 0);
+}
+
 }  // namespace
 }  // namespace ndv

@@ -291,6 +291,45 @@ TEST(AnalyzeTableTest, BoundsBracketTruthOnEveryColumn) {
   }
 }
 
+TEST(AnalyzeTableTest, ExactModeRecordsGroundTruth) {
+  const Table census = MakeCensusLikeScaled(5000);
+  AnalyzeOptions options;
+  options.exact = true;
+  options.threads = 1;
+  const StatsCatalog catalog = AnalyzeTable(census, options);
+  ASSERT_EQ(catalog.entries().size(),
+            static_cast<size_t>(census.NumColumns()));
+  for (int64_t c = 0; c < census.NumColumns(); ++c) {
+    const double actual =
+        static_cast<double>(ExactDistinctHashSet(census.column(c)));
+    const ColumnStats* stats = catalog.Find(census.column_name(c));
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->method, "EXACT");
+    EXPECT_EQ(stats->table_rows, census.column(c).size());
+    EXPECT_EQ(stats->sample_rows, census.column(c).size());
+    EXPECT_DOUBLE_EQ(stats->estimate, actual);
+    EXPECT_DOUBLE_EQ(stats->lower, actual);
+    EXPECT_DOUBLE_EQ(stats->upper, actual);
+    EXPECT_EQ(stats->sample_distinct, static_cast<int64_t>(actual));
+  }
+}
+
+TEST(AnalyzeTableTest, ExactModeIsThreadCountInvariant) {
+  const Table census = MakeCensusLikeScaled(3000);
+  AnalyzeOptions serial;
+  serial.exact = true;
+  serial.threads = 1;
+  const StatsCatalog baseline = AnalyzeTable(census, serial);
+  for (int threads : {2, 8}) {
+    AnalyzeOptions options;
+    options.exact = true;
+    options.threads = threads;
+    const StatsCatalog catalog = AnalyzeTable(census, options);
+    EXPECT_EQ(catalog.Serialize(), baseline.Serialize())
+        << "threads=" << threads;
+  }
+}
+
 TEST(AnalyzeTableTest, CatalogRoundTripsThroughText) {
   const Table census = MakeCensusLikeScaled(2000);
   const StatsCatalog catalog = AnalyzeTable(census, {});

@@ -13,6 +13,7 @@
 //   ndv_cli estimate --in=data.csv --column=value --fraction=0.01
 //   ndv_cli analyze --in=data.csv --fraction=0.05 --out=stats.ndv
 //   ndv_cli analyze --in=data.csv --threads=8   # or NDV_THREADS=8
+//   ndv_cli analyze --in=data.csv --exact       # full-scan ground truth
 //   ndv_cli distributed --in=data.csv --column=value --partitions=8
 //   ndv_cli distributed --in=data.csv --fail=0,3   # degraded interval demo
 //   ndv_cli sketch --in=data.csv --column=value
@@ -209,6 +210,8 @@ int CmdAnalyze(const Flags& flags) {
   options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
   // 0 = auto: DefaultThreadCount(), overridable via NDV_THREADS.
   options.threads = static_cast<int>(GetInt(flags, "threads", 0));
+  // --exact: full-scan ground truth (parallel kernel) instead of sampling.
+  options.exact = GetFlag(flags, "exact", "false") == "true";
   const ndv::StatsCatalog catalog = ndv::AnalyzeTable(table, options);
 
   ndv::TextTable result({"column", "estimate", "LOWER", "UPPER", "sampled"});
@@ -295,11 +298,12 @@ int CmdSketch(const Flags& flags) {
       GetFlag(flags, "column", table.column_name(0));
   const ndv::Column& column = FindColumnOrDie(table, column_name);
 
+  // Hash the column once with the batch kernel; every counter then
+  // consumes the same hash stream without per-row virtual dispatch.
+  const std::vector<uint64_t> hashes = column.HashAll();
   ndv::TextTable result({"counter", "estimate", "memory (bytes)"});
   for (auto& counter : ndv::MakeAllDistinctCounters()) {
-    for (int64_t row = 0; row < column.size(); ++row) {
-      counter->Add(column.HashAt(row));
-    }
+    counter->AddBatch(hashes);
     result.AddRow({std::string(counter->name()),
                    ndv::FormatDouble(counter->Estimate(), 1),
                    std::to_string(counter->MemoryBytes())});
