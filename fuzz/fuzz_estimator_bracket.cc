@@ -1,0 +1,82 @@
+// Fuzzes the estimator layer with arbitrary frequency profiles and asserts
+// the paper's bracket invariants on the outputs:
+//   - ComputeGeeBounds: LOWER == d, LOWER <= GEE estimate <= UPPER <= n;
+//   - every registered estimator returns a finite value inside the sanity
+//     interval [d, n], tightened to [d, d + (n - r)] for distinct-row
+//     samples (the Estimator interface contract);
+//   - GeeStandardErrorEstimate and GeeExpectedErrorBound are finite and
+//     non-negative.
+// The input bytes encode an f-vector (f(1)..f(k)) plus the table size
+// headroom; r and d are derived, so every decoded summary is valid by
+// construction and the harness explores the full profile space, not just
+// profiles a sampler would produce.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "core/all_estimators.h"
+#include "core/gee.h"
+#include "profile/frequency_profile.h"
+
+namespace {
+
+constexpr size_t kMaxFrequencies = 64;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 3) return 0;
+
+  // Byte 0: table-size headroom; byte 1: distinct-rows flag; the rest is
+  // the f-vector. Cap k so r stays small enough for the slow estimators.
+  const int64_t headroom = static_cast<int64_t>(data[0]);
+  const bool distinct_rows = (data[1] & 1) != 0;
+  std::vector<int64_t> f_by_freq;
+  for (size_t i = 2; i < size && f_by_freq.size() < kMaxFrequencies; ++i) {
+    f_by_freq.push_back(static_cast<int64_t>(data[i]));
+  }
+
+  ndv::SampleSummary summary;
+  summary.freq = ndv::FrequencyProfile::FromFrequencyCounts(f_by_freq);
+  const int64_t r = summary.freq.TotalCount();
+  if (r == 0) return 0;
+  summary.sample_rows = r;
+  // With replacement the only constraint is n >= 1; without replacement the
+  // r sampled rows must exist in the table.
+  summary.distinct_rows = distinct_rows;
+  summary.table_rows = r + headroom * r / 8;
+  summary.Validate();
+
+  const double d = static_cast<double>(summary.d());
+  const double n = static_cast<double>(summary.n());
+  const double slack =
+      distinct_rows
+          ? d + static_cast<double>(summary.n() - summary.r())
+          : n;
+
+  const ndv::GeeBounds bounds = ndv::ComputeGeeBounds(summary);
+  NDV_CHECK_EQ(bounds.lower, d);
+  NDV_CHECK_LE(bounds.lower, bounds.estimate);
+  NDV_CHECK_LE(bounds.estimate, bounds.upper);
+  NDV_CHECK_LE(bounds.upper, n);
+  NDV_CHECK_GE(bounds.width(), 0.0);
+
+  const double std_err = ndv::GeeStandardErrorEstimate(summary);
+  NDV_CHECK(std::isfinite(std_err));
+  NDV_CHECK_GE(std_err, 0.0);
+  const double budget = ndv::GeeExpectedErrorBound(summary.n(), summary.r());
+  NDV_CHECK(std::isfinite(budget));
+  NDV_CHECK_GE(budget, 1.0);
+
+  for (const auto& estimator : ndv::MakeAllEstimators()) {
+    const double estimate = estimator->Estimate(summary);
+    NDV_CHECK_MSG(std::isfinite(estimate), "%s returned a non-finite value",
+                  std::string(estimator->name()).c_str());
+    NDV_CHECK_MSG(estimate >= d && estimate <= slack,
+                  "%s escaped the sanity interval: %f not in [%f, %f]",
+                  std::string(estimator->name()).c_str(), estimate, d, slack);
+  }
+  return 0;
+}

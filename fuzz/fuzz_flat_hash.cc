@@ -1,0 +1,117 @@
+// Differential fuzz of FlatHashSet / FlatHashCounter against the standard
+// library containers they replaced. The input is decoded as an operation
+// sequence (insert / membership probe / counted add / count probe / merge),
+// and after every operation the flat containers must agree with the oracle.
+// Structural invariants — power-of-two capacity, load factor <= 3/4, peak
+// capacity monotonicity — are asserted throughout (FindIndex and the growth
+// paths carry NDV_DCHECKs as well; fuzz builds force NDV_DCHECK_ENABLED).
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/flat_hash.h"
+
+namespace {
+
+constexpr size_t kMaxInputBytes = 1 << 14;  // 16 KiB ~ two thousand ops
+
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool Done() const { return pos >= size; }
+  uint8_t Byte() { return Done() ? 0 : data[pos++]; }
+  uint64_t Key() {
+    uint64_t key = 0;
+    for (int i = 0; i < 8 && pos < size; ++i) {
+      key = (key << 8) | data[pos++];
+    }
+    return key;
+  }
+};
+
+void CheckStructure(int64_t capacity, double load_factor, int64_t peak) {
+  NDV_CHECK((capacity & (capacity - 1)) == 0);
+  NDV_CHECK_LE(load_factor, 0.75);
+  NDV_CHECK_GE(peak, capacity);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  Reader in{data, size};
+
+  ndv::FlatHashSet set;
+  std::unordered_set<uint64_t> set_oracle;
+  ndv::FlatHashCounter counter;
+  std::unordered_map<uint64_t, int64_t> counter_oracle;
+
+  while (!in.Done()) {
+    switch (in.Byte() % 5) {
+      case 0: {
+        const uint64_t key = in.Key();
+        const bool inserted = set.Insert(key);
+        NDV_CHECK_EQ(inserted, set_oracle.insert(key).second);
+        break;
+      }
+      case 1: {
+        const uint64_t key = in.Key();
+        NDV_CHECK_EQ(set.Contains(key), set_oracle.contains(key));
+        break;
+      }
+      case 2: {
+        const uint64_t key = in.Key();
+        const int64_t delta = 1 + in.Byte() % 4;
+        counter.Add(key, delta);
+        counter_oracle[key] += delta;
+        break;
+      }
+      case 3: {
+        const uint64_t key = in.Key();
+        const auto it = counter_oracle.find(key);
+        NDV_CHECK_EQ(counter.Count(key),
+                     it == counter_oracle.end() ? 0 : it->second);
+        break;
+      }
+      case 4: {
+        // Union-merge the running set into a pre-sized scratch set; the
+        // merge must be a no-op on membership.
+        ndv::FlatHashSet merged(set.size() / 2);
+        merged.MergeFrom(set);
+        NDV_CHECK_EQ(merged.size(), set.size());
+        break;
+      }
+    }
+    NDV_CHECK_EQ(set.size(), static_cast<int64_t>(set_oracle.size()));
+    NDV_CHECK_EQ(counter.size(), static_cast<int64_t>(counter_oracle.size()));
+    CheckStructure(set.Capacity(), set.LoadFactor(), set.PeakCapacity());
+    CheckStructure(counter.Capacity(), counter.LoadFactor(),
+                   counter.PeakCapacity());
+  }
+
+  // Full final sweep: both directions of containment, via ForEach.
+  int64_t visited = 0;
+  set.ForEach([&](uint64_t key) {
+    NDV_CHECK(set_oracle.contains(key));
+    ++visited;
+  });
+  NDV_CHECK_EQ(visited, set.size());
+  for (uint64_t key : set_oracle) NDV_CHECK(set.Contains(key));
+
+  int64_t total_from_flat = 0;
+  counter.ForEach([&](uint64_t key, int64_t count) {
+    const auto it = counter_oracle.find(key);
+    NDV_CHECK(it != counter_oracle.end());
+    NDV_CHECK_EQ(count, it->second);
+    total_from_flat += count;
+  });
+  int64_t total_from_oracle = 0;
+  for (const auto& [key, count] : counter_oracle) total_from_oracle += count;
+  NDV_CHECK_EQ(total_from_flat, total_from_oracle);
+  return 0;
+}

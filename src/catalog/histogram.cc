@@ -77,8 +77,8 @@ double EquiDepthHistogram::EstimateRangeRows(int64_t lo, int64_t hi) const {
     if (bucket.upper < lo || bucket.lower > hi) continue;
     const double width =
         static_cast<double>(bucket.upper - bucket.lower) + 1.0;
-    const double overlap_lo = std::max(lo, bucket.lower);
-    const double overlap_hi = std::min(hi, bucket.upper);
+    const double overlap_lo = static_cast<double>(std::max(lo, bucket.lower));
+    const double overlap_hi = static_cast<double>(std::min(hi, bucket.upper));
     const double overlap = overlap_hi - overlap_lo + 1.0;
     rows += bucket.estimated_rows * (overlap / width);
   }

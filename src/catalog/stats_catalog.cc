@@ -274,6 +274,11 @@ StatsCatalog AnalyzeTable(const Table& table, const AnalyzeOptions& options) {
     stats.lower = bounds.lower;
     stats.upper = bounds.upper;
     stats.method = options.estimator;
+    // Every published AnalyzeResult carries a well-formed interval. The
+    // point estimate of a non-GEE estimator may exceed the GEE UPPER on
+    // degenerate profiles (DESIGN.md §11), but never undercuts LOWER = d.
+    NDV_DCHECK_LE(stats.lower, stats.upper);
+    NDV_DCHECK_GE(stats.estimate, stats.lower);
     per_column[static_cast<size_t>(c)] = std::move(stats);
   });
 

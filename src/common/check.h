@@ -3,43 +3,147 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 // Contract-checking macros.
 //
 // The library does not use exceptions (per the project style). Programming
 // errors — violated preconditions, broken invariants — terminate the process
 // with a diagnostic. Recoverable conditions are modeled with return values
-// (std::optional or explicit result structs) instead.
+// (Status/StatusOr, std::optional, or explicit result structs) instead.
+//
+// Two severity tiers:
+//
+//   NDV_CHECK*  — always compiled in, every build type. Use for cheap
+//                 checks on cold paths: constructor preconditions, API
+//                 entry validation, per-call (not per-element) invariants.
+//
+//   NDV_DCHECK* — compiled in when NDV_DCHECK_ENABLED (defaults to on in
+//                 !NDEBUG builds, i.e. Debug; sanitizer builds force it on
+//                 via -DNDV_DCHECK_ENABLED=1 regardless of build type).
+//                 Use for per-element checks in hot loops and anything too
+//                 expensive for Release. When disabled, the condition is
+//                 parsed but NEVER evaluated — side effects do not run —
+//                 so a DCHECK must not be load-bearing.
+//
+// Comparison forms (NDV_CHECK_EQ(a, b) etc.) print both operand values on
+// failure; use them instead of NDV_CHECK(a == b) whenever the operands are
+// streamable. Operands are evaluated exactly once.
+
+// Decide NDV_DCHECK_ENABLED when the build system didn't.
+#if !defined(NDV_DCHECK_ENABLED)
+#if defined(NDEBUG)
+#define NDV_DCHECK_ENABLED 0
+#else
+#define NDV_DCHECK_ENABLED 1
+#endif
+#endif
+
+namespace ndv {
+namespace check_internal {
+
+// Cold failure path for comparison checks: formats both operands. Kept out
+// of line (and out of the hot instruction stream) on purpose.
+template <typename A, typename B>
+[[noreturn]] __attribute__((noinline, cold)) void CheckOpFailure(
+    const char* file, int line, const char* expr_text, const char* macro_name,
+    const A& lhs, const B& rhs) {
+  std::ostringstream os;
+  os << lhs << " vs " << rhs;
+  std::fprintf(stderr, "%s failed at %s:%d: %s (%s)\n", macro_name, file, line,
+               expr_text, os.str().c_str());
+  std::abort();
+}
+
+[[noreturn]] __attribute__((noinline, cold)) inline void CheckFailure(
+    const char* file, int line, const char* expr_text,
+    const char* macro_name) {
+  std::fprintf(stderr, "%s failed at %s:%d: %s\n", macro_name, file, line,
+               expr_text);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace ndv
 
 // Aborts with a diagnostic when `condition` is false. Always enabled.
-#define NDV_CHECK(condition)                                              \
-  do {                                                                    \
-    if (!(condition)) {                                                   \
-      std::fprintf(stderr, "NDV_CHECK failed at %s:%d: %s\n", __FILE__,   \
-                   __LINE__, #condition);                                 \
-      std::abort();                                                       \
-    }                                                                     \
+#define NDV_CHECK(condition)                                             \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::ndv::check_internal::CheckFailure(__FILE__, __LINE__,            \
+                                          #condition, "NDV_CHECK");      \
+    }                                                                    \
   } while (false)
 
 // Like NDV_CHECK but prints an extra printf-style message.
-#define NDV_CHECK_MSG(condition, ...)                                     \
-  do {                                                                    \
-    if (!(condition)) {                                                   \
-      std::fprintf(stderr, "NDV_CHECK failed at %s:%d: %s: ", __FILE__,   \
-                   __LINE__, #condition);                                 \
-      std::fprintf(stderr, __VA_ARGS__);                                  \
-      std::fprintf(stderr, "\n");                                         \
-      std::abort();                                                       \
-    }                                                                     \
+#define NDV_CHECK_MSG(condition, ...)                                    \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "NDV_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #condition);                                \
+      std::fprintf(stderr, __VA_ARGS__);                                 \
+      std::fprintf(stderr, "\n");                                        \
+      std::abort();                                                      \
+    }                                                                    \
   } while (false)
 
-// Debug-only check; compiled out in NDEBUG builds.
-#ifdef NDEBUG
-#define NDV_DCHECK(condition) \
-  do {                        \
+// Comparison checks; print both values on failure. Operands are evaluated
+// once and bound by reference, so they may be arbitrary expressions.
+#define NDV_INTERNAL_CHECK_OP(op, lhs, rhs, macro_name)                    \
+  do {                                                                     \
+    auto&& ndv_chk_lhs = (lhs);                                            \
+    auto&& ndv_chk_rhs = (rhs);                                            \
+    if (!(ndv_chk_lhs op ndv_chk_rhs)) {                                   \
+      ::ndv::check_internal::CheckOpFailure(__FILE__, __LINE__,            \
+                                            #lhs " " #op " " #rhs,         \
+                                            macro_name, ndv_chk_lhs,       \
+                                            ndv_chk_rhs);                  \
+    }                                                                      \
   } while (false)
-#else
-#define NDV_DCHECK(condition) NDV_CHECK(condition)
-#endif
+
+#define NDV_CHECK_EQ(lhs, rhs) NDV_INTERNAL_CHECK_OP(==, lhs, rhs, "NDV_CHECK_EQ")
+#define NDV_CHECK_NE(lhs, rhs) NDV_INTERNAL_CHECK_OP(!=, lhs, rhs, "NDV_CHECK_NE")
+#define NDV_CHECK_LT(lhs, rhs) NDV_INTERNAL_CHECK_OP(<, lhs, rhs, "NDV_CHECK_LT")
+#define NDV_CHECK_LE(lhs, rhs) NDV_INTERNAL_CHECK_OP(<=, lhs, rhs, "NDV_CHECK_LE")
+#define NDV_CHECK_GT(lhs, rhs) NDV_INTERNAL_CHECK_OP(>, lhs, rhs, "NDV_CHECK_GT")
+#define NDV_CHECK_GE(lhs, rhs) NDV_INTERNAL_CHECK_OP(>=, lhs, rhs, "NDV_CHECK_GE")
+
+// Debug/sanitizer-only checks. When disabled the operands are still parsed
+// (so they cannot bit-rot) but sit behind `if (false)` — they are never
+// evaluated at runtime and the optimizer deletes them entirely.
+#if NDV_DCHECK_ENABLED
+
+#define NDV_DCHECK(condition)                                            \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::ndv::check_internal::CheckFailure(__FILE__, __LINE__,            \
+                                          #condition, "NDV_DCHECK");     \
+    }                                                                    \
+  } while (false)
+#define NDV_DCHECK_EQ(lhs, rhs) NDV_INTERNAL_CHECK_OP(==, lhs, rhs, "NDV_DCHECK_EQ")
+#define NDV_DCHECK_NE(lhs, rhs) NDV_INTERNAL_CHECK_OP(!=, lhs, rhs, "NDV_DCHECK_NE")
+#define NDV_DCHECK_LT(lhs, rhs) NDV_INTERNAL_CHECK_OP(<, lhs, rhs, "NDV_DCHECK_LT")
+#define NDV_DCHECK_LE(lhs, rhs) NDV_INTERNAL_CHECK_OP(<=, lhs, rhs, "NDV_DCHECK_LE")
+#define NDV_DCHECK_GT(lhs, rhs) NDV_INTERNAL_CHECK_OP(>, lhs, rhs, "NDV_DCHECK_GT")
+#define NDV_DCHECK_GE(lhs, rhs) NDV_INTERNAL_CHECK_OP(>=, lhs, rhs, "NDV_DCHECK_GE")
+
+#else  // !NDV_DCHECK_ENABLED
+
+#define NDV_INTERNAL_DCHECK_DISCARD(condition)   \
+  do {                                           \
+    if (false) {                                 \
+      static_cast<void>(condition);              \
+    }                                            \
+  } while (false)
+
+#define NDV_DCHECK(condition) NDV_INTERNAL_DCHECK_DISCARD(condition)
+#define NDV_DCHECK_EQ(lhs, rhs) NDV_INTERNAL_DCHECK_DISCARD((lhs) == (rhs))
+#define NDV_DCHECK_NE(lhs, rhs) NDV_INTERNAL_DCHECK_DISCARD((lhs) != (rhs))
+#define NDV_DCHECK_LT(lhs, rhs) NDV_INTERNAL_DCHECK_DISCARD((lhs) < (rhs))
+#define NDV_DCHECK_LE(lhs, rhs) NDV_INTERNAL_DCHECK_DISCARD((lhs) <= (rhs))
+#define NDV_DCHECK_GT(lhs, rhs) NDV_INTERNAL_DCHECK_DISCARD((lhs) > (rhs))
+#define NDV_DCHECK_GE(lhs, rhs) NDV_INTERNAL_DCHECK_DISCARD((lhs) >= (rhs))
+
+#endif  // NDV_DCHECK_ENABLED
 
 #endif  // NDV_COMMON_CHECK_H_

@@ -75,6 +75,8 @@ class FlatHashSet {
     if (keys_[index] == key) return false;
     keys_[index] = key;
     ++used_;
+    // Growth policy invariant: load factor stays <= 3/4 after every insert.
+    NDV_DCHECK_LE(used_ * 4, Capacity() * 3);
     return true;
   }
 
@@ -132,7 +134,10 @@ class FlatHashSet {
 
  private:
   // Index of the slot holding `key`, or of the empty slot where it belongs.
+  // The masking below is only sound on a non-empty power-of-two table.
   static size_t FindIndex(const std::vector<uint64_t>& keys, uint64_t key) {
+    NDV_DCHECK(!keys.empty());
+    NDV_DCHECK_EQ(keys.size() & (keys.size() - 1), size_t{0});
     const size_t mask = keys.size() - 1;
     size_t index = static_cast<size_t>(key) & mask;
     while (keys[index] != 0 && keys[index] != key) {
@@ -143,6 +148,8 @@ class FlatHashSet {
 
   void Rehash(int64_t new_capacity) {
     NDV_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    NDV_DCHECK_GE(new_capacity, flat_hash_internal::kMinCapacity);
+    NDV_DCHECK_GT(new_capacity, Capacity());
     std::vector<uint64_t> old = std::move(keys_);
     keys_.assign(static_cast<size_t>(new_capacity), 0);
     if (new_capacity > peak_capacity_) peak_capacity_ = new_capacity;
@@ -185,6 +192,9 @@ class FlatHashCounter {
     if (keys_[index] != key) {
       keys_[index] = key;
       ++used_;
+      // Growth policy invariant: load factor stays <= 3/4 after every
+      // insert.
+      NDV_DCHECK_LE(used_ * 4, Capacity() * 3);
     }
     counts_[index] += delta;
   }
@@ -233,7 +243,10 @@ class FlatHashCounter {
   }
 
  private:
+  // See FlatHashSet::FindIndex on the non-empty power-of-two precondition.
   static size_t FindIndex(const std::vector<uint64_t>& keys, uint64_t key) {
+    NDV_DCHECK(!keys.empty());
+    NDV_DCHECK_EQ(keys.size() & (keys.size() - 1), size_t{0});
     const size_t mask = keys.size() - 1;
     size_t index = static_cast<size_t>(key) & mask;
     while (keys[index] != 0 && keys[index] != key) {
@@ -244,6 +257,8 @@ class FlatHashCounter {
 
   void Rehash(int64_t new_capacity) {
     NDV_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    NDV_DCHECK_GE(new_capacity, flat_hash_internal::kMinCapacity);
+    NDV_DCHECK_GT(new_capacity, Capacity());
     std::vector<uint64_t> old_keys = std::move(keys_);
     std::vector<int64_t> old_counts = std::move(counts_);
     keys_.assign(static_cast<size_t>(new_capacity), 0);

@@ -85,6 +85,9 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       --in_flight_;
+      // Every decrement pairs with a Submit-side increment; going negative
+      // means a task was double-counted and Wait() can no longer be trusted.
+      NDV_CHECK_GE(in_flight_, 0);
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }

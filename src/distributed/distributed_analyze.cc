@@ -291,6 +291,13 @@ StatusOr<DistributedAnalyzeResult> DistributedAnalyze(
   stats.method = options.estimator;
   stats.coverage = result.coverage;
   stats.degraded = result.degraded;
+  // Interval invariants survive the widening: LOWER (= d of the scanned
+  // region) never exceeds UPPER, and a point estimate below the observed
+  // distinct count would be nonsense. (A non-GEE point estimator may
+  // legitimately exceed UPPER on degenerate profiles; see DESIGN.md §11.)
+  NDV_DCHECK_LE(stats.lower, stats.upper);
+  NDV_DCHECK_GE(stats.estimate, stats.lower);
+  NDV_DCHECK(stats.coverage > 0.0 && stats.coverage <= 1.0);
   return result;
 }
 

@@ -35,7 +35,11 @@ FrequencyProfile FrequencyProfile::FromValues(
   // (reserving for every value would zero and probe a mostly-empty table).
   FlatHashCounter counts;
   for (uint64_t v : values) counts.Add(v);
-  return FromHashCounter(counts);
+  FrequencyProfile profile = FromHashCounter(counts);
+  // Mass conservation: every input value lands in exactly one class, so
+  // sum_i i*f(i) must equal the number of values hashed in.
+  NDV_DCHECK_EQ(profile.TotalCount(), static_cast<int64_t>(values.size()));
+  return profile;
 }
 
 FrequencyProfile FrequencyProfile::FromHashCounter(
@@ -60,6 +64,8 @@ void FrequencyProfile::Add(int64_t freq, int64_t delta) {
   total_ += freq * delta;
   // Trim trailing zeros so MaxFrequency stays tight.
   while (!f_.empty() && f_.back() == 0) f_.pop_back();
+  NDV_DCHECK_GE(distinct_, 0);
+  NDV_DCHECK_GE(total_, distinct_);
 }
 
 void FrequencyProfile::Merge(const FrequencyProfile& other) {

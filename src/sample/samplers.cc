@@ -136,11 +136,15 @@ void ReservoirSamplerR::Add(uint64_t item) {
   ++seen_;
   if (static_cast<int64_t>(reservoir_.size()) < capacity_) {
     reservoir_.push_back(item);
+    NDV_DCHECK_EQ(static_cast<int64_t>(reservoir_.size()),
+                  std::min(capacity_, seen_));
     return;
   }
   const int64_t j =
       static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(seen_)));
   if (j < capacity_) reservoir_[static_cast<size_t>(j)] = item;
+  // A full reservoir stays exactly at capacity: replacements never resize.
+  NDV_DCHECK_EQ(static_cast<int64_t>(reservoir_.size()), capacity_);
 }
 
 ReservoirSamplerL::ReservoirSamplerL(int64_t capacity, Rng rng)
@@ -156,10 +160,17 @@ void ReservoirSamplerL::ScheduleNextAcceptance() {
   // floor(log(U')/log(1-w)) items past the current one.
   w_ *= std::exp(std::log(1.0 - rng_.NextDouble()) /
                  static_cast<double>(capacity_));
+  // w is a product of exp(log(U)/k) factors with U in (0, 1), so it decays
+  // monotonically within (0, 1]; log1p(-w_) below relies on it.
+  NDV_DCHECK(w_ > 0.0 && w_ <= 1.0);
   const double u = 1.0 - rng_.NextDouble();
   const double skip = std::fmin(std::floor(std::log(u) / std::log1p(-w_)),
                                 9.0e18);
   next_accept_ = seen_ + static_cast<int64_t>(skip);
+  // Skip-schedule monotonicity: the next acceptance is never in the past.
+  // Every item strictly before it is a guaranteed discard (DiscardRunLength
+  // / SkipDiscarded depend on this never moving backwards).
+  NDV_DCHECK_GE(next_accept_, seen_);
 }
 
 int64_t ReservoirSamplerL::DiscardRunLength() const {
@@ -182,6 +193,8 @@ void ReservoirSamplerL::Add(uint64_t item) {
       w_ = 1.0;
       ScheduleNextAcceptance();
     }
+    NDV_DCHECK_EQ(static_cast<int64_t>(reservoir_.size()),
+                  std::min(capacity_, seen_));
     return;
   }
   if (index == next_accept_) {
@@ -190,6 +203,8 @@ void ReservoirSamplerL::Add(uint64_t item) {
     reservoir_[static_cast<size_t>(slot)] = item;
     ScheduleNextAcceptance();
   }
+  NDV_DCHECK_EQ(static_cast<int64_t>(reservoir_.size()),
+                std::min(capacity_, seen_));
 }
 
 }  // namespace ndv

@@ -1,0 +1,102 @@
+// Death tests for the contract-checking layer: NDV_CHECK* aborts with a
+// useful diagnostic, NDV_DCHECK* aborts only when NDV_DCHECK_ENABLED, and a
+// disabled DCHECK never evaluates its operands (so a side-effecting
+// expression inside one is a bug the Release build must not mask into
+// behavior). Also covers the StatusOr value-of-error abort.
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace ndv {
+namespace {
+
+TEST(CheckDeathTest, FailedCheckAbortsWithExpression) {
+  EXPECT_DEATH(NDV_CHECK(1 + 1 == 3), "NDV_CHECK failed at .*: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, FailedCheckMsgIncludesFormattedMessage) {
+  EXPECT_DEATH(NDV_CHECK_MSG(false, "ate %d of %s", 3, "them"),
+               "NDV_CHECK failed at .*: false: ate 3 of them");
+}
+
+TEST(CheckDeathTest, ComparisonChecksPrintBothOperands) {
+  const int64_t lhs = 7;
+  const int64_t rhs = 9;
+  EXPECT_DEATH(NDV_CHECK_EQ(lhs, rhs), "NDV_CHECK_EQ failed at .*7 vs 9");
+  EXPECT_DEATH(NDV_CHECK_GT(lhs, rhs), "NDV_CHECK_GT failed at .*7 vs 9");
+  EXPECT_DEATH(NDV_CHECK_GE(lhs, rhs), "NDV_CHECK_GE failed at .*7 vs 9");
+  EXPECT_DEATH(NDV_CHECK_NE(lhs, lhs), "NDV_CHECK_NE failed at .*7 vs 7");
+  EXPECT_DEATH(NDV_CHECK_LT(rhs, lhs), "NDV_CHECK_LT failed at .*9 vs 7");
+  EXPECT_DEATH(NDV_CHECK_LE(rhs, lhs), "NDV_CHECK_LE failed at .*9 vs 7");
+}
+
+TEST(CheckTest, PassingChecksEvaluateOperandsExactlyOnce) {
+  int evaluations = 0;
+  const auto next = [&evaluations]() {
+    ++evaluations;
+    return int64_t{42};
+  };
+  NDV_CHECK_EQ(next(), 42);
+  EXPECT_EQ(evaluations, 1);
+  NDV_CHECK_LE(next(), 42);
+  EXPECT_EQ(evaluations, 2);
+  NDV_CHECK(next() == 42);
+  EXPECT_EQ(evaluations, 3);
+}
+
+TEST(DcheckTest, RespectsBuildConfiguration) {
+  int side_effects = 0;
+  const auto fail_and_count = [&side_effects]() {
+    ++side_effects;
+    return false;
+  };
+#if NDV_DCHECK_ENABLED
+  // Debug / sanitizer / forced-DCHECK builds: a failing DCHECK aborts like
+  // a CHECK. The death-test child takes the side effect, not this process.
+  EXPECT_DEATH(NDV_DCHECK(fail_and_count()), "NDV_DCHECK failed");
+  EXPECT_DEATH(NDV_DCHECK_EQ(int64_t{1}, int64_t{2}),
+               "NDV_DCHECK_EQ failed at .*1 vs 2");
+  EXPECT_EQ(side_effects, 0);
+#else
+  // Release builds: disabled DCHECKs must not evaluate their operands.
+  NDV_DCHECK(fail_and_count());
+  NDV_DCHECK_EQ(fail_and_count(), true);
+  NDV_DCHECK_NE(side_effects += 100, 0);
+  NDV_DCHECK_LT(fail_and_count(), true);
+  NDV_DCHECK_LE(fail_and_count(), true);
+  NDV_DCHECK_GT(fail_and_count(), true);
+  NDV_DCHECK_GE(fail_and_count(), true);
+  EXPECT_EQ(side_effects, 0);
+#endif
+}
+
+TEST(DcheckTest, PassingDchecksAreHarmlessInEveryMode) {
+  NDV_DCHECK(true);
+  NDV_DCHECK_EQ(int64_t{3}, int64_t{3});
+  NDV_DCHECK_NE(int64_t{3}, int64_t{4});
+  NDV_DCHECK_LT(int64_t{3}, int64_t{4});
+  NDV_DCHECK_LE(int64_t{3}, int64_t{3});
+  NDV_DCHECK_GT(int64_t{4}, int64_t{3});
+  NDV_DCHECK_GE(int64_t{4}, int64_t{4});
+}
+
+TEST(StatusOrDeathTest, ValueOfErrorAborts) {
+  StatusOr<int> failed(InvalidArgumentError("no such table"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_DEATH(failed.value(),
+               "StatusOr::value\\(\\) on error: INVALID_ARGUMENT: no such "
+               "table");
+  EXPECT_DEATH(*failed, "StatusOr::value\\(\\) on error");
+  EXPECT_DEATH(failed.operator->(), "StatusOr::value\\(\\) on error");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueAborts) {
+  EXPECT_DEATH(StatusOr<int>(Status::Ok()),
+               "StatusOr constructed from OK status without a value");
+}
+
+}  // namespace
+}  // namespace ndv

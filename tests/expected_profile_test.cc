@@ -110,7 +110,7 @@ TEST(GeeExpectedValueWorTest, WithinTheoremTwoWindow) {
   const int64_t r = n / 100;
   const double expected = GeeExpectedValueWor(counts, r);
   const double cap = 2000.0;
-  const double scale = std::sqrt(static_cast<double>(n) / r);
+  const double scale = std::sqrt(static_cast<double>(n) / static_cast<double>(r));
   EXPECT_GE(expected, cap / (M_E * scale) * 0.9);
   EXPECT_LE(expected, cap * scale * 1.0001);
 }

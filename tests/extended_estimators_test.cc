@@ -24,7 +24,8 @@ SampleSummary SmallSummary() {
 TEST(HypergeometricMissRealTest, MatchesIntegerVersion) {
   for (int64_t t : {1, 3, 7}) {
     for (int64_t r : {1, 2, 5}) {
-      EXPECT_NEAR(HypergeometricMissProbabilityReal(10.0, t, r),
+      EXPECT_NEAR(HypergeometricMissProbabilityReal(10.0, static_cast<double>(t),
+                                                    static_cast<double>(r)),
                   HypergeometricMissProbability(10, t, r), 1e-12)
           << "t=" << t << " r=" << r;
     }

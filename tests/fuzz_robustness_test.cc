@@ -95,7 +95,8 @@ TEST(FuzzRobustnessTest, SkewStatisticsAlwaysFinite) {
     const SkewTestResult skew = TestSkew(summary.freq);
     ASSERT_TRUE(std::isfinite(skew.statistic));
     ASSERT_GE(skew.statistic, -1e-9);
-    const double cv = EstimatedSquaredCV(summary, 1.0 + summary.d());
+    const double cv =
+        EstimatedSquaredCV(summary, 1.0 + static_cast<double>(summary.d()));
     ASSERT_TRUE(std::isfinite(cv));
     ASSERT_GE(cv, 0.0);
   }

@@ -108,9 +108,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values("GEE", "AE", "HYBGEE", "HYBSKEW",
                                          "DUJ2A")),
     [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
-           info) {
+           param_info) {
       std::string name =
-          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+          std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

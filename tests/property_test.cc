@@ -179,8 +179,8 @@ INSTANTIATE_TEST_SUITE_P(
     ReasonableEstimators, ConvergenceTest,
     ::testing::Values("GEE", "AE", "HYBGEE", "HYBSKEW", "UJ1", "SJ",
                       "Shlosser", "Chao", "Bootstrap", "MM", "HT"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
@@ -212,8 +212,8 @@ TEST_P(CvSensitiveConvergenceTest, ConvergesOnUniformData) {
 INSTANTIATE_TEST_SUITE_P(
     CvPlugInEstimators, CvSensitiveConvergenceTest,
     ::testing::Values("UJ2", "DUJ2A", "ChaoLee", "HYBVAR"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
