@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/all_estimators.h"
 #include "profile/frequency_profile.h"
+#include "sample/block_sampler.h"
 #include "sample/partition_merge.h"
 #include "sample/samplers.h"
 
@@ -68,21 +69,14 @@ StatusOr<WorkerReply> ScanPartitionAttempt(
     }
   }
 
-  // Algorithm L discards most rows once the reservoir fills; honor its
-  // skip schedule so only kept rows are hashed. Bit-identical to feeding
+  // Block-aligned Algorithm-L scan: the fill phase batch-hashes whole
+  // aligned blocks (sequential reads — what an mmap segment wants), and
+  // the steady state honors the skip schedule so only kept rows are hashed
+  // and only their blocks are ever faulted in. Bit-identical to feeding
   // every row (skips consume no randomness), but the scan cost drops from
   // O(rows) to O(capacity * log(rows / capacity)) hash calls.
-  ReservoirSamplerL reservoir(capacity, rng);
-  for (int64_t row = begin; row < end;) {
-    const int64_t skip = std::min(reservoir.DiscardRunLength(), end - row);
-    if (skip > 0) {
-      reservoir.SkipDiscarded(skip);
-      row += skip;
-      continue;
-    }
-    reservoir.Add(column.HashAt(row));
-    ++row;
-  }
+  const ReservoirSamplerL reservoir =
+      BlockSampleColumn(column, begin, end, capacity, rng);
   WorkerReply reply;
   reply.sample.population = end - begin;
   reply.sample.items = reservoir.sample();

@@ -1,0 +1,58 @@
+#include "sample/block_sampler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ndv {
+
+ReservoirSamplerL BlockSampleColumn(const Column& column, int64_t begin,
+                                    int64_t end, int64_t capacity, Rng rng,
+                                    const BlockSampleOptions& options) {
+  NDV_CHECK(0 <= begin && begin <= end && end <= column.size());
+  NDV_CHECK_GE(options.block_rows, 1);
+  ReservoirSamplerL reservoir(capacity, rng);
+
+  const int64_t block_rows = options.block_rows;
+  int64_t row = begin;
+
+  // Fill phase: the first min(capacity, end - begin) rows are all kept.
+  // Hash them block by block; the first and last blocks may be partial
+  // (begin need not be block-aligned), every interior read is one whole
+  // aligned block.
+  int64_t fill_remaining = std::min(capacity, end - begin);
+  constexpr int64_t kMaxBatch = 65536;  // caps the hash buffer, not the read
+  std::vector<uint64_t> hashes(
+      static_cast<size_t>(std::min({block_rows, fill_remaining, kMaxBatch})));
+  while (fill_remaining > 0) {
+    const int64_t block_end = (row / block_rows + 1) * block_rows;
+    int64_t count = std::min({fill_remaining, block_end - row, end - row});
+    while (count > 0) {
+      const int64_t batch = std::min(count, kMaxBatch);
+      column.HashSlice(row, row + batch, hashes.data());
+      for (int64_t i = 0; i < batch; ++i) {
+        reservoir.Add(hashes[static_cast<size_t>(i)]);
+      }
+      row += batch;
+      count -= batch;
+      fill_remaining -= batch;
+    }
+  }
+
+  // Steady state: honor the skip schedule; only rows Algorithm L accepts
+  // are hashed, so only their blocks are ever read.
+  while (row < end) {
+    const int64_t skip = std::min(reservoir.DiscardRunLength(), end - row);
+    if (skip > 0) {
+      reservoir.SkipDiscarded(skip);
+      row += skip;
+      continue;
+    }
+    reservoir.Add(column.HashAt(row));
+    ++row;
+  }
+  return reservoir;
+}
+
+}  // namespace ndv

@@ -1,0 +1,48 @@
+#ifndef NDV_SAMPLE_BLOCK_SAMPLER_H_
+#define NDV_SAMPLE_BLOCK_SAMPLER_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "sample/samplers.h"
+#include "table/column.h"
+
+namespace ndv {
+
+// Block-aligned reservoir scan: converts a row budget (the reservoir
+// capacity) into aligned block reads over a column, feeding Algorithm L's
+// skip schedule. Designed for mmap-backed columns, where the unit of I/O
+// is a block of consecutive rows, not a row:
+//
+//  * Fill phase (first `capacity` rows): every row is kept, so whole
+//    aligned blocks are batch-hashed with one HashSlice call per block —
+//    sequential reads, no per-row virtual dispatch.
+//  * Steady state: Algorithm L decides its skip runs before looking at the
+//    skipped items, so runs are skipped without touching their rows.
+//    Blocks that contain no accepted row are never read at all — for a
+//    mapped column their pages are never faulted in.
+//
+// The sample is bit-identical to feeding rows [begin, end) one by one
+// through ReservoirSamplerL::Add with the same rng, for every block size:
+// skips consume no randomness, and the batch hash kernels equal HashAt
+// value-for-value. In-memory and mapped columns therefore produce the
+// same reservoir — the property the distributed workers rely on.
+
+struct BlockSampleOptions {
+  // Rows per aligned read block. Block boundaries are aligned to absolute
+  // row indices (multiples of block_rows), independent of `begin`, so
+  // partition scans line up with the storage layout. 4096 rows of an
+  // 8-byte column is 8 pages per read. Must be >= 1.
+  int64_t block_rows = 4096;
+};
+
+// Scans rows [begin, end) of `column` through an Algorithm-L reservoir of
+// `capacity` items seeded by `rng`, reading in aligned blocks as described
+// above. Requires 0 <= begin <= end <= column.size() and capacity >= 1.
+ReservoirSamplerL BlockSampleColumn(const Column& column, int64_t begin,
+                                    int64_t end, int64_t capacity, Rng rng,
+                                    const BlockSampleOptions& options = {});
+
+}  // namespace ndv
+
+#endif  // NDV_SAMPLE_BLOCK_SAMPLER_H_

@@ -1,0 +1,84 @@
+#include "storage/mapped_column.h"
+
+namespace ndv {
+
+// The batch loops mirror the heap columns in table/column.cc line for line;
+// both funnel through the same per-value hash functions, which is what
+// keeps packed and parsed estimates bit-identical.
+
+void MappedInt64Column::HashRange(std::span<const int64_t> rows,
+                                  uint64_t* out) const {
+  const int64_t* values = values_.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
+    out[i] = Hash64(static_cast<uint64_t>(values[rows[i]]));
+  }
+}
+
+void MappedInt64Column::HashSlice(int64_t begin, int64_t end,
+                                  uint64_t* out) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  const int64_t* values = values_.data() + begin;
+  const int64_t count = end - begin;
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = Hash64(static_cast<uint64_t>(values[i]));
+  }
+}
+
+void MappedDoubleColumn::HashRange(std::span<const int64_t> rows,
+                                   uint64_t* out) const {
+  const double* values = values_.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
+    out[i] = HashDoubleValue(values[rows[i]]);
+  }
+}
+
+void MappedDoubleColumn::HashSlice(int64_t begin, int64_t end,
+                                   uint64_t* out) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  const double* values = values_.data() + begin;
+  const int64_t count = end - begin;
+  for (int64_t i = 0; i < count; ++i) out[i] = HashDoubleValue(values[i]);
+}
+
+MappedStringColumn::MappedStringColumn(std::span<const int32_t> codes,
+                                       std::span<const uint64_t> dict_offsets,
+                                       const char* blob,
+                                       std::shared_ptr<const void> owner)
+    : codes_(codes),
+      dict_offsets_(dict_offsets),
+      blob_(blob),
+      owner_(std::move(owner)) {
+  NDV_CHECK_GE(dict_offsets_.size(), 1u);
+  const size_t dict_count = dict_offsets_.size() - 1;
+  hashes_.reserve(dict_count);
+  for (size_t i = 0; i < dict_count; ++i) {
+    NDV_CHECK_LE(dict_offsets_[i], dict_offsets_[i + 1]);
+    hashes_.push_back(HashBytes(
+        {blob_ + dict_offsets_[i], dict_offsets_[i + 1] - dict_offsets_[i]}));
+  }
+}
+
+void MappedStringColumn::HashRange(std::span<const int64_t> rows,
+                                   uint64_t* out) const {
+  const int32_t* codes = codes_.data();
+  const uint64_t* hashes = hashes_.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
+    out[i] = hashes[static_cast<size_t>(codes[rows[i]])];
+  }
+}
+
+void MappedStringColumn::HashSlice(int64_t begin, int64_t end,
+                                   uint64_t* out) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  const int32_t* codes = codes_.data() + begin;
+  const uint64_t* hashes = hashes_.data();
+  const int64_t count = end - begin;
+  for (int64_t i = 0; i < count; ++i) {
+    out[i] = hashes[static_cast<size_t>(codes[i])];
+  }
+}
+
+}  // namespace ndv

@@ -1,0 +1,128 @@
+#ifndef NDV_STORAGE_MAPPED_COLUMN_H_
+#define NDV_STORAGE_MAPPED_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "table/column.h"
+
+namespace ndv {
+
+// Zero-copy Column implementations over memory-mapped ndvpack payloads.
+// Each column holds spans into the mapping plus a shared_ptr keeping the
+// mapping (or any other backing buffer) alive — moving the owning Table
+// around can never dangle the views.
+//
+// Hashing is bit-identical to the heap columns: the same Hash64 /
+// HashDoubleValue / HashBytes functions over the same value bytes, so an
+// estimate computed from a mapped table equals the CSV-parsed one exactly.
+
+// Column of 64-bit integers read in place from the mapping.
+class MappedInt64Column final : public Column {
+ public:
+  MappedInt64Column(std::span<const int64_t> values,
+                    std::shared_ptr<const void> owner)
+      : values_(values), owner_(std::move(owner)) {}
+
+  ColumnType type() const override { return ColumnType::kInt64; }
+  int64_t size() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+  uint64_t HashAt(int64_t row) const override {
+    NDV_DCHECK(0 <= row && row < size());
+    return Hash64(static_cast<uint64_t>(values_[static_cast<size_t>(row)]));
+  }
+  void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
+  void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
+  std::string ValueToString(int64_t row) const override {
+    return std::to_string(values_[static_cast<size_t>(row)]);
+  }
+
+  std::span<const int64_t> values() const { return values_; }
+
+ private:
+  std::span<const int64_t> values_;
+  std::shared_ptr<const void> owner_;
+};
+
+// Column of doubles read in place from the mapping. Equality classes match
+// DoubleColumn: -0.0 == +0.0, all NaN payloads collapse into one class.
+class MappedDoubleColumn final : public Column {
+ public:
+  MappedDoubleColumn(std::span<const double> values,
+                     std::shared_ptr<const void> owner)
+      : values_(values), owner_(std::move(owner)) {}
+
+  ColumnType type() const override { return ColumnType::kDouble; }
+  int64_t size() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+  uint64_t HashAt(int64_t row) const override {
+    NDV_DCHECK(0 <= row && row < size());
+    return HashDoubleValue(values_[static_cast<size_t>(row)]);
+  }
+  void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
+  void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
+  std::string ValueToString(int64_t row) const override {
+    return std::to_string(values_[static_cast<size_t>(row)]);
+  }
+
+  std::span<const double> values() const { return values_; }
+
+ private:
+  std::span<const double> values_;
+  std::shared_ptr<const void> owner_;
+};
+
+// Dictionary-encoded string column over the mapping: int32 codes + an
+// offset-indexed blob, exactly the StringColumn representation but with the
+// strings left in place. The only open-time allocation is the per-entry
+// hash cache (8 bytes per distinct string). Codes must have been validated
+// against dict_count by the pack deserializer.
+class MappedStringColumn final : public Column {
+ public:
+  // `dict_offsets` has dict_count + 1 entries; entry i of the dictionary
+  // spans blob[dict_offsets[i], dict_offsets[i + 1]).
+  MappedStringColumn(std::span<const int32_t> codes,
+                     std::span<const uint64_t> dict_offsets, const char* blob,
+                     std::shared_ptr<const void> owner);
+
+  ColumnType type() const override { return ColumnType::kString; }
+  int64_t size() const override { return static_cast<int64_t>(codes_.size()); }
+  uint64_t HashAt(int64_t row) const override {
+    NDV_DCHECK(0 <= row && row < size());
+    return hashes_[static_cast<size_t>(codes_[static_cast<size_t>(row)])];
+  }
+  void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
+  void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
+  std::string ValueToString(int64_t row) const override {
+    return std::string(DictionaryEntry(
+        codes_[static_cast<size_t>(row)]));
+  }
+
+  int64_t dictionary_size() const {
+    return static_cast<int64_t>(hashes_.size());
+  }
+  std::string_view DictionaryEntry(int32_t code) const {
+    NDV_DCHECK(0 <= code && code < dictionary_size());
+    const auto i = static_cast<size_t>(code);
+    return {blob_ + dict_offsets_[i], dict_offsets_[i + 1] - dict_offsets_[i]};
+  }
+  std::span<const int32_t> codes() const { return codes_; }
+
+ private:
+  std::span<const int32_t> codes_;
+  std::span<const uint64_t> dict_offsets_;
+  const char* blob_;
+  std::vector<uint64_t> hashes_;  // one per dictionary entry
+  std::shared_ptr<const void> owner_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_STORAGE_MAPPED_COLUMN_H_

@@ -1,0 +1,41 @@
+#include "storage/table_loader.h"
+
+#include <fstream>
+
+#include "storage/mapped_file.h"
+#include "storage/ndvpack.h"
+#include "table/csv.h"
+
+namespace ndv {
+
+namespace {
+
+// Reads up to the magic's length from the head of the file. A short or
+// unreadable file simply fails the sniff; the CSV path then reports the
+// real error with full context.
+bool SniffPackMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char head[8] = {};
+  in.read(head, sizeof(head));
+  return in.gcount() == sizeof(head) &&
+         StartsWithPackMagic({head, sizeof(head)});
+}
+
+}  // namespace
+
+StatusOr<Table> LoadTableAuto(const std::string& path) {
+  if (SniffPackMagic(path)) return OpenPackFile(path);
+
+  // CSV: one read into one string (no stream double-buffering), then parse.
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  auto table = ReadCsvInferredOrStatus(*text);
+  if (!table.ok()) {
+    return Status(table.status().code(),
+                  path + ": " + table.status().message());
+  }
+  return table;
+}
+
+}  // namespace ndv

@@ -1,0 +1,20 @@
+#ifndef NDV_STORAGE_TABLE_LOADER_H_
+#define NDV_STORAGE_TABLE_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace ndv {
+
+// Loads a table from `path`, auto-detecting the format by content (not by
+// extension): a file beginning with the ndvpack magic opens zero-copy by
+// mmap; anything else parses as header-ed CSV with per-column type
+// inference. Every failure — missing file, short read, malformed CSV,
+// corrupt pack — surfaces as a Status naming the path.
+StatusOr<Table> LoadTableAuto(const std::string& path);
+
+}  // namespace ndv
+
+#endif  // NDV_STORAGE_TABLE_LOADER_H_

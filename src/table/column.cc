@@ -28,20 +28,13 @@ uint64_t HashBytes(std::string_view bytes) {
   return Hash64(h);
 }
 
-namespace {
-
-// Shared by DoubleColumn::HashAt and the batch loops so the two paths are
-// bit-identical: -0.0 canonicalized to +0.0, every NaN payload collapsed
-// into one class.
-inline uint64_t HashDoubleValue(double v) {
+uint64_t HashDoubleValue(double v) {
   if (v == 0.0) v = 0.0;  // Canonicalize -0.0.
   if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   return Hash64(bits);
 }
-
-}  // namespace
 
 void Column::HashRange(std::span<const int64_t> rows, uint64_t* out) const {
   // Generic fallback for column types without a batched loop: still one

@@ -129,6 +129,8 @@ class StringColumn final : public Column {
   int64_t dictionary_size() const {
     return static_cast<int64_t>(dictionary_.size());
   }
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
 
  private:
   void ComputeHashes();
@@ -140,6 +142,13 @@ class StringColumn final : public Column {
 
 // FNV-1a 64-bit hash of a byte string, finalized with Hash64 mixing.
 uint64_t HashBytes(std::string_view bytes);
+
+// Hash of one double under the library's equality classes: -0.0
+// canonicalized to +0.0, every NaN payload collapsed into one class. All
+// double-hashing paths (heap DoubleColumn, the batch kernels, the mmap
+// columns in src/storage) go through this one function so they stay
+// bit-identical.
+uint64_t HashDoubleValue(double v);
 
 }  // namespace ndv
 
