@@ -1,0 +1,282 @@
+// micro_serving — closed-loop and open-loop load generator for the NDV
+// stats service (src/serve/). Not a google-benchmark binary: latency
+// distributions under concurrency and pacing need a custom harness.
+//
+// Closed loop: `--clients` threads each issue `--requests` GET_STATS
+// requests back to back through StatsService::Submit (the admission-
+// controlled entry point), while a background writer publishes forced
+// re-ANALYZE epochs — so the measured read path includes concurrent epoch
+// publication, the regime the concurrent catalog exists for.
+//
+// Open loop: requests are scheduled at a fixed `--target-qps` and latency
+// is measured from the *scheduled* start, so queueing delay from a slow
+// server is charged to the request (no coordinated omission).
+//
+// Output: human-readable summary on stdout and a JSON report at --out
+// (default BENCH_serving.json) with p50/p95/p99 for both loops.
+//
+//   ./build/bench/micro_serving --rows=100000 --clients=4
+//       --requests=2000 --target-qps=2000 --out=BENCH_serving.json
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datagen/zipf.h"
+#include "serve/protocol.h"
+#include "serve/stats_service.h"
+#include "table/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+struct LatencySummary {
+  int64_t count = 0;
+  double qps = 0.0;
+  int64_t p50_ns = 0;
+  int64_t p95_ns = 0;
+  int64_t p99_ns = 0;
+  int64_t max_ns = 0;
+  double mean_ns = 0.0;
+};
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(rank + 0.5)];
+}
+
+LatencySummary Summarize(std::vector<int64_t> latencies_ns,
+                         int64_t wall_ns) {
+  LatencySummary summary;
+  summary.count = static_cast<int64_t>(latencies_ns.size());
+  if (latencies_ns.empty()) return summary;
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  summary.p50_ns = Percentile(latencies_ns, 50);
+  summary.p95_ns = Percentile(latencies_ns, 95);
+  summary.p99_ns = Percentile(latencies_ns, 99);
+  summary.max_ns = latencies_ns.back();
+  double total = 0.0;
+  for (const int64_t ns : latencies_ns) total += static_cast<double>(ns);
+  summary.mean_ns = total / static_cast<double>(latencies_ns.size());
+  if (wall_ns > 0) {
+    summary.qps = static_cast<double>(latencies_ns.size()) /
+                  (static_cast<double>(wall_ns) * 1e-9);
+  }
+  return summary;
+}
+
+void PrintSummary(const char* label, const LatencySummary& summary) {
+  std::printf("%s: %lld requests, %.0f qps, p50 %.1f us, p95 %.1f us, "
+              "p99 %.1f us, max %.1f us\n",
+              label, static_cast<long long>(summary.count), summary.qps,
+              static_cast<double>(summary.p50_ns) * 1e-3,
+              static_cast<double>(summary.p95_ns) * 1e-3,
+              static_cast<double>(summary.p99_ns) * 1e-3,
+              static_cast<double>(summary.max_ns) * 1e-3);
+}
+
+void AppendSummaryJson(std::string* json, const LatencySummary& summary) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"requests\": %lld, \"qps\": %.1f, "
+                "\"p50_ns\": %lld, \"p95_ns\": %lld, \"p99_ns\": %lld, "
+                "\"max_ns\": %lld, \"mean_ns\": %.1f}",
+                static_cast<long long>(summary.count), summary.qps,
+                static_cast<long long>(summary.p50_ns),
+                static_cast<long long>(summary.p95_ns),
+                static_cast<long long>(summary.p99_ns),
+                static_cast<long long>(summary.max_ns), summary.mean_ns);
+  json->append(buffer);
+}
+
+ndv::Message GetStatsRequest(const std::string& column) {
+  ndv::Message request;
+  request.type = ndv::MessageType::kGetStats;
+  request.column = column;
+  return request;
+}
+
+int64_t FlagInt(const std::map<std::string, std::string>& flags,
+                const std::string& name, int64_t fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::stoll(it->second);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "true";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+
+  const int64_t rows = FlagInt(flags, "rows", 100000);
+  const int64_t dup = FlagInt(flags, "dup", 10);
+  const int clients = static_cast<int>(FlagInt(flags, "clients", 4));
+  const int64_t requests_per_client = FlagInt(flags, "requests", 2000);
+  const int64_t target_qps = FlagInt(flags, "target-qps", 2000);
+  const int64_t open_loop_requests = FlagInt(flags, "open-requests", 4000);
+  const std::string out_path =
+      flags.count("out") ? flags["out"] : "BENCH_serving.json";
+
+  ndv::ZipfColumnOptions column_options;
+  column_options.rows = rows;
+  column_options.z = 1.0;
+  column_options.dup_factor = dup;
+  ndv::Table table;
+  table.AddColumn("value", ndv::MakeZipfColumn(column_options));
+  auto shared_table = std::make_shared<ndv::Table>(std::move(table));
+
+  ndv::StatsServiceOptions service_options;
+  service_options.analyze.sample_fraction = 0.01;
+  service_options.analyze.threads = 1;
+  ndv::StatsService service(std::move(shared_table), service_options);
+  std::printf("serving 1 column of %lld rows at epoch %llu\n",
+              static_cast<long long>(rows),
+              static_cast<unsigned long long>(service.epoch()));
+
+  const ndv::Message get_request = GetStatsRequest("value");
+
+  // ---- Closed loop: `clients` threads, back-to-back requests, with a
+  // writer publishing forced re-ANALYZE epochs throughout.
+  std::atomic<bool> stop_writer{false};
+  std::atomic<int64_t> epochs_published{0};
+  std::thread writer([&] {
+    ndv::Message analyze;
+    analyze.type = ndv::MessageType::kAnalyze;
+    analyze.force = true;
+    while (!stop_writer.load(std::memory_order_acquire)) {
+      const ndv::Message reply = service.Submit(analyze);
+      if (reply.type == ndv::MessageType::kAnalyzeReply) {
+        epochs_published.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  std::vector<std::vector<int64_t>> per_client(
+      static_cast<size_t>(clients));
+  std::atomic<int64_t> errors{0};
+  const int64_t closed_start = NowNanos();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto& latencies = per_client[static_cast<size_t>(c)];
+        latencies.reserve(static_cast<size_t>(requests_per_client));
+        for (int64_t i = 0; i < requests_per_client; ++i) {
+          const int64_t start = NowNanos();
+          const ndv::Message reply = service.Submit(get_request);
+          latencies.push_back(NowNanos() - start);
+          if (reply.type != ndv::MessageType::kStatsReply) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const int64_t closed_wall = NowNanos() - closed_start;
+  stop_writer.store(true, std::memory_order_release);
+  writer.join();
+
+  std::vector<int64_t> closed_latencies;
+  for (const auto& latencies : per_client) {
+    closed_latencies.insert(closed_latencies.end(), latencies.begin(),
+                            latencies.end());
+  }
+  const LatencySummary closed = Summarize(std::move(closed_latencies),
+                                          closed_wall);
+  PrintSummary("closed-loop", closed);
+  std::printf("  %lld epochs published concurrently, %lld non-OK replies\n",
+              static_cast<long long>(epochs_published.load()),
+              static_cast<long long>(errors.load()));
+
+  // ---- Open loop: fixed arrival schedule at target QPS; latency runs
+  // from the scheduled start, so server-side stalls surface as queueing
+  // delay instead of silently thinning the arrival rate.
+  const int64_t interval_ns =
+      target_qps > 0 ? 1000000000 / target_qps : 0;
+  std::vector<int64_t> open_latencies;
+  open_latencies.reserve(static_cast<size_t>(open_loop_requests));
+  int64_t open_errors = 0;
+  const int64_t open_start = NowNanos();
+  for (int64_t i = 0; i < open_loop_requests; ++i) {
+    const int64_t scheduled = open_start + i * interval_ns;
+    while (NowNanos() < scheduled) {
+      // Sub-millisecond pacing: spin rather than oversleep.
+      std::this_thread::yield();
+    }
+    const ndv::Message reply = service.Submit(get_request);
+    open_latencies.push_back(NowNanos() - scheduled);
+    if (reply.type != ndv::MessageType::kStatsReply) ++open_errors;
+  }
+  const int64_t open_wall = NowNanos() - open_start;
+  const LatencySummary open = Summarize(std::move(open_latencies),
+                                        open_wall);
+  PrintSummary("open-loop", open);
+  std::printf("  target %lld qps, %lld non-OK replies\n",
+              static_cast<long long>(target_qps),
+              static_cast<long long>(open_errors));
+
+  std::string json = "{\n  \"config\": {";
+  {
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"rows\": %lld, \"dup_factor\": %lld, \"clients\": %d, "
+                  "\"requests_per_client\": %lld, \"target_qps\": %lld, "
+                  "\"open_loop_requests\": %lld, \"epochs_published\": "
+                  "%lld}",
+                  static_cast<long long>(rows),
+                  static_cast<long long>(dup), clients,
+                  static_cast<long long>(requests_per_client),
+                  static_cast<long long>(target_qps),
+                  static_cast<long long>(open_loop_requests),
+                  static_cast<long long>(epochs_published.load()));
+    json.append(buffer);
+  }
+  json.append(",\n  \"closed_loop\": ");
+  AppendSummaryJson(&json, closed);
+  json.append(",\n  \"open_loop\": ");
+  AppendSummaryJson(&json, open);
+  json.append("\n}\n");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("report written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,9 +71,9 @@ int main() {
 
   // Downstream consumers: textbook cardinality formulas over the catalog.
   const ndv::StatsCatalog catalog = ndv::AnalyzeTable(census, {});
-  const ndv::ColumnStats* education = catalog.Find("education");
-  const ndv::ColumnStats* occupation = catalog.Find("occupation");
-  if (education != nullptr && occupation != nullptr) {
+  const std::optional<ndv::ColumnStats> education = catalog.Find("education");
+  const std::optional<ndv::ColumnStats> occupation = catalog.Find("occupation");
+  if (education.has_value() && occupation.has_value()) {
     std::printf("\nCardinality model driven by the catalog:\n");
     std::printf("  rows WHERE education = <const>          ~ %.0f\n",
                 ndv::EstimateEqualityCardinality(*education));

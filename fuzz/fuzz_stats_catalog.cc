@@ -8,6 +8,7 @@
 //   - lookups over an accepted catalog are total (Find on every entry).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -33,8 +34,9 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   }
 
   for (const ndv::ColumnStats& stats : catalog->entries()) {
-    const ndv::ColumnStats* found = catalog->Find(stats.column_name);
-    NDV_CHECK(found != nullptr);
+    const std::optional<ndv::ColumnStats> found =
+        catalog->Find(stats.column_name);
+    NDV_CHECK(found.has_value());
     NDV_CHECK(found->table_rows == stats.table_rows);
     // Selectivity must be computable for every accepted entry.
     const double selectivity = found->EstimatedSelectivity();

@@ -1,0 +1,58 @@
+#include "catalog/concurrent_catalog.h"
+
+#include <utility>
+
+namespace ndv {
+
+ConcurrentStatsCatalog::ConcurrentStatsCatalog()
+    : current_(std::make_shared<CatalogEpoch>()) {}
+
+ConcurrentStatsCatalog::ConcurrentStatsCatalog(StatsCatalog initial) {
+  auto epoch = std::make_shared<CatalogEpoch>();
+  epoch->epoch = 1;
+  epoch->catalog = std::move(initial);
+  current_ = std::move(epoch);
+}
+
+std::shared_ptr<const CatalogEpoch> ConcurrentStatsCatalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return current_;
+}
+
+std::optional<ColumnStats> ConcurrentStatsCatalog::Find(
+    std::string_view column_name) const {
+  return Snapshot()->catalog.Find(column_name);
+}
+
+uint64_t ConcurrentStatsCatalog::PublishLocked(StatsCatalog catalog) {
+  // writer_mutex_ is held: no competing writer can interleave between the
+  // epoch read and the swap, so epochs are strictly increasing.
+  auto next = std::make_shared<CatalogEpoch>();
+  next->catalog = std::move(catalog);
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  next->epoch = current_->epoch + 1;
+  current_ = std::move(next);
+  return current_->epoch;
+}
+
+uint64_t ConcurrentStatsCatalog::Put(ColumnStats stats) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  StatsCatalog next = Snapshot()->catalog;  // copy outside snapshot_mutex_
+  next.Put(std::move(stats));
+  return PublishLocked(std::move(next));
+}
+
+uint64_t ConcurrentStatsCatalog::Publish(StatsCatalog catalog) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  return PublishLocked(std::move(catalog));
+}
+
+uint64_t ConcurrentStatsCatalog::Update(
+    const std::function<void(StatsCatalog&)>& mutate) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  StatsCatalog next = Snapshot()->catalog;
+  mutate(next);
+  return PublishLocked(std::move(next));
+}
+
+}  // namespace ndv

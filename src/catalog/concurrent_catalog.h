@@ -1,0 +1,86 @@
+#ifndef NDV_CATALOG_CONCURRENT_CATALOG_H_
+#define NDV_CATALOG_CONCURRENT_CATALOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+
+#include "catalog/stats_catalog.h"
+
+namespace ndv {
+
+// One immutable published generation of the catalog. Once a CatalogEpoch is
+// visible to readers it is never mutated again; writers build a fresh copy
+// and swap the pointer. Readers therefore see either the old generation or
+// the new one in its entirety — never a torn mix, and never a dangling
+// pointer into a vector a writer is growing.
+struct CatalogEpoch {
+  uint64_t epoch = 0;  // 0 = the initial empty generation
+  StatsCatalog catalog;
+};
+
+// A concurrent, versioned facade over StatsCatalog for the serving path:
+// many reader threads issue lookups while ANALYZE writers publish fresh
+// statistics.
+//
+// Publication model (DESIGN.md §13): the current generation lives behind a
+// std::shared_ptr<const CatalogEpoch>. Readers take the pointer under a
+// light mutex held for a pointer copy only — O(1), no allocation, no
+// dependence on catalog size — and then resolve every lookup against that
+// immutable snapshot with no further synchronization. Writers serialize
+// among themselves on a separate mutex, build the successor generation
+// OUTSIDE any lock readers touch (copying the catalog can be arbitrarily
+// slow without stalling a single read), and publish it with one pointer
+// swap. Superseded generations are freed by shared_ptr when the last
+// in-flight reader drops them.
+//
+// This structurally eliminates the StatsCatalog::Find pointer-invalidation
+// bug: there is no reference into mutable storage anywhere in the read
+// path, so no Put can invalidate what a reader holds.
+class ConcurrentStatsCatalog {
+ public:
+  // Starts at epoch 0 with an empty catalog.
+  ConcurrentStatsCatalog();
+  // Starts at epoch 1 with `initial` already published.
+  explicit ConcurrentStatsCatalog(StatsCatalog initial);
+
+  ConcurrentStatsCatalog(const ConcurrentStatsCatalog&) = delete;
+  ConcurrentStatsCatalog& operator=(const ConcurrentStatsCatalog&) = delete;
+
+  // The current generation. Never null; safe to hold indefinitely (it pins
+  // only its own generation, not the writer).
+  std::shared_ptr<const CatalogEpoch> Snapshot() const;
+
+  // Epoch of the current generation (monotonically increasing).
+  uint64_t epoch() const { return Snapshot()->epoch; }
+
+  // Convenience single lookup against the current generation, by value.
+  std::optional<ColumnStats> Find(std::string_view column_name) const;
+
+  // Writers. Each returns the epoch of the generation it published.
+  // Put: copy-on-write upsert of one column (StatsCatalog::Put semantics:
+  // last write wins, no duplicates).
+  uint64_t Put(ColumnStats stats);
+  // Publish: wholesale replacement — the post-ANALYZE path.
+  uint64_t Publish(StatsCatalog catalog);
+  // Update: general read-copy-update; `mutate` runs on a private copy of
+  // the current catalog while readers continue against the old generation.
+  uint64_t Update(const std::function<void(StatsCatalog&)>& mutate);
+
+ private:
+  uint64_t PublishLocked(StatsCatalog catalog);
+
+  // Serializes writers across the whole copy-mutate-swap cycle.
+  std::mutex writer_mutex_;
+  // Guards only the current_ pointer itself; held for a pointer copy (read
+  // side) or a pointer swap (write side) — never across catalog work.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const CatalogEpoch> current_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_CATALOG_CONCURRENT_CATALOG_H_

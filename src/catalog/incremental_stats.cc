@@ -1,5 +1,7 @@
 #include "catalog/incremental_stats.h"
 
+#include <cmath>
+
 #include "common/check.h"
 #include "core/gee.h"
 
@@ -36,18 +38,31 @@ ColumnStats IncrementalColumnTracker::Snapshot(std::string column_name,
   stats.lower = bounds.lower;
   stats.upper = bounds.upper;
   stats.method = std::string(estimator.name());
-  rows_at_snapshot_ = rows();
+  MarkFresh();
   return stats;
 }
 
 bool IncrementalColumnTracker::IsStale(double changed_fraction) const {
-  NDV_CHECK(changed_fraction > 0.0);
+  // A bad knob (NaN, zero, negative) is clamped to 0 — "any insert since
+  // the baseline is stale" — instead of aborting: a long-running server
+  // must not crash on a client-supplied threshold.
+  if (!(changed_fraction > 0.0)) changed_fraction = 0.0;
   if (rows_at_snapshot_ < 0) return true;
   if (rows_at_snapshot_ == 0) return rows() > 0;
   const double changed =
       static_cast<double>(rows() - rows_at_snapshot_) /
       static_cast<double>(rows_at_snapshot_);
   return changed > changed_fraction;
+}
+
+StatusOr<bool> IncrementalColumnTracker::IsStaleOrStatus(
+    double changed_fraction) const {
+  if (!std::isfinite(changed_fraction) || changed_fraction <= 0.0) {
+    return InvalidArgumentError(
+        "changed_fraction must be a finite positive number, got %g",
+        changed_fraction);
+  }
+  return IsStale(changed_fraction);
 }
 
 }  // namespace ndv

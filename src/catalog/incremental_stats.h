@@ -5,6 +5,7 @@
 #include <string>
 
 #include "catalog/stats_catalog.h"
+#include "common/status.h"
 #include "estimators/estimator.h"
 #include "profile/frequency_profile.h"
 #include "sample/samplers.h"
@@ -35,10 +36,25 @@ class IncrementalColumnTracker {
   // Stats snapshot for `column_name` using `estimator`; calls MarkFresh().
   ColumnStats Snapshot(std::string column_name, const Estimator& estimator);
 
-  // True when the rows inserted since the last Snapshot exceed
-  // `changed_fraction` of the rows at that snapshot (PostgreSQL-style
-  // autovacuum trigger). A tracker that never snapshot is always stale.
+  // Records the current row count as the freshness baseline without
+  // materializing statistics — what Snapshot() does implicitly, and what a
+  // server does after publishing a full re-ANALYZE of the backing table.
+  // Callable at any row count, including zero.
+  void MarkFresh() { rows_at_snapshot_ = rows(); }
+
+  // True when the rows inserted since the last Snapshot/MarkFresh exceed
+  // `changed_fraction` of the rows at that baseline (PostgreSQL-style
+  // autovacuum trigger). A tracker that was never marked fresh is always
+  // stale. A non-finite or non-positive `changed_fraction` — a knob a
+  // remote client may hand a server — must not crash the process: it is
+  // clamped to 0, the conservative reading under which ANY insert since
+  // the baseline makes the statistics stale.
   bool IsStale(double changed_fraction = 0.2) const;
+
+  // Typed-error variant for the serving path: rejects a non-finite or
+  // non-positive `changed_fraction` with InvalidArgument instead of
+  // clamping, so the server can answer the client with an error frame.
+  StatusOr<bool> IsStaleOrStatus(double changed_fraction) const;
 
   int64_t rows_at_last_snapshot() const { return rows_at_snapshot_; }
 

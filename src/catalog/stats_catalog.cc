@@ -77,6 +77,9 @@ bool ParseNumber(std::string_view text, T* out) {
 }  // namespace
 
 void StatsCatalog::Put(ColumnStats stats) {
+  // Last write wins: re-ANALYZE of an already-known column replaces the
+  // entry in place, preserving the original catalog order and the
+  // no-duplicates invariant that Serialize() and Find() rely on.
   for (ColumnStats& existing : entries_) {
     if (existing.column_name == stats.column_name) {
       existing = std::move(stats);
@@ -86,11 +89,12 @@ void StatsCatalog::Put(ColumnStats stats) {
   entries_.push_back(std::move(stats));
 }
 
-const ColumnStats* StatsCatalog::Find(std::string_view column_name) const {
+std::optional<ColumnStats> StatsCatalog::Find(
+    std::string_view column_name) const {
   for (const ColumnStats& stats : entries_) {
-    if (stats.column_name == column_name) return &stats;
+    if (stats.column_name == column_name) return stats;
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 std::string StatsCatalog::Serialize() const {

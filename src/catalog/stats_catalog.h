@@ -71,10 +71,20 @@ class StatsCatalog {
  public:
   StatsCatalog() = default;
 
+  // Inserts or replaces the entry for stats.column_name. Repeated Puts for
+  // the same column are LAST WRITE WINS: the catalog never holds duplicate
+  // entries, so a re-ANALYZE overwrites in place and Find/Serialize expose
+  // exactly one (the newest) record per column.
   void Put(ColumnStats stats);
 
-  // Stats for a column, or nullptr when absent.
-  const ColumnStats* Find(std::string_view column_name) const;
+  // Stats for a column, or std::nullopt when absent. Returns BY VALUE on
+  // purpose: a pointer into entries_ would be invalidated by the vector
+  // reallocation a later Put can trigger — a use-after-free the moment a
+  // reader holds a result across a writer's update (the serving shape).
+  // Callers that need a long-lived view hold the copy; concurrent callers
+  // should go through ConcurrentStatsCatalog, which resolves every lookup
+  // against an immutable published snapshot.
+  std::optional<ColumnStats> Find(std::string_view column_name) const;
 
   const std::vector<ColumnStats>& entries() const { return entries_; }
   bool empty() const { return entries_.empty(); }

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/all_estimators.h"
+#include "distributed/retry.h"
 #include "profile/frequency_profile.h"
 #include "sample/block_sampler.h"
 #include "sample/partition_merge.h"
@@ -29,17 +30,12 @@ uint64_t PayloadChecksum(const std::vector<uint64_t>& items) {
   return sum;
 }
 
-bool IsRetryable(StatusCode code) {
-  return code == StatusCode::kUnavailable ||
-         code == StatusCode::kDeadlineExceeded ||
-         code == StatusCode::kDataLoss;
-}
-
-int64_t BackoffMillis(const DistributedAnalyzeOptions& options, int attempt) {
-  if (options.backoff_base_ms <= 0) return 0;
-  const int shift = std::min(attempt, 40);
-  const int64_t raw = options.backoff_base_ms << shift;
-  return std::min(raw, options.backoff_max_ms);
+RetryPolicy RetryPolicyFrom(const DistributedAnalyzeOptions& options) {
+  RetryPolicy policy;
+  policy.max_attempts = options.max_attempts;
+  policy.backoff_base_ms = options.backoff_base_ms;
+  policy.backoff_max_ms = options.backoff_max_ms;
+  return policy;
 }
 
 // One worker attempt: simulate the injected fault (if any), then scan the
@@ -201,13 +197,13 @@ StatusOr<DistributedAnalyzeResult> DistributedAnalyze(
         return;
       }
       last_error = status;
-      if (!IsRetryable(status.code()) ||
+      if (!IsRetryableStatus(status.code()) ||
           attempt + 1 >= options.max_attempts) {
         outcome.state = PartitionState::kFailed;
         outcome.status = last_error;
         return;
       }
-      clock.SleepMillis(BackoffMillis(options, attempt));
+      clock.SleepMillis(RetryBackoffMillis(RetryPolicyFrom(options), attempt));
     }
   });
 

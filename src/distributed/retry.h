@@ -1,0 +1,46 @@
+#ifndef NDV_DISTRIBUTED_RETRY_H_
+#define NDV_DISTRIBUTED_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace ndv {
+
+// Shared retry vocabulary for anything that talks to an unreliable peer:
+// the distributed ANALYZE coordinator retries worker partitions with it,
+// and the stats-service client retries request/response calls with it.
+// Centralizing the policy keeps "which codes are transient" and the
+// backoff curve identical across both paths.
+
+struct RetryPolicy {
+  // Total attempts per operation (>= 1); attempt k in [0, max_attempts).
+  int max_attempts = 3;
+  // Exponential backoff before retry k+1: base * 2^k, capped at max.
+  // base <= 0 disables backoff entirely.
+  int64_t backoff_base_ms = 100;
+  int64_t backoff_max_ms = 2000;
+};
+
+// Transient failures worth retrying; everything else is permanent. The
+// classification matches DESIGN.md §9: a peer that is down (Unavailable),
+// slow (DeadlineExceeded), or whose payload arrived damaged (DataLoss) may
+// succeed on the next attempt; InvalidArgument/NotFound/etc. will not.
+inline bool IsRetryableStatus(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kDataLoss;
+}
+
+// Backoff to sleep before retry `attempt + 1` (attempt is 0-based).
+inline int64_t RetryBackoffMillis(const RetryPolicy& policy, int attempt) {
+  if (policy.backoff_base_ms <= 0) return 0;
+  const int shift = std::min(attempt, 40);
+  const int64_t raw = policy.backoff_base_ms << shift;
+  return std::min(raw, policy.backoff_max_ms);
+}
+
+}  // namespace ndv
+
+#endif  // NDV_DISTRIBUTED_RETRY_H_

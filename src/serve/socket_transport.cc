@@ -1,0 +1,214 @@
+#include "serve/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace ndv {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return UnavailableError("%s failed: %s", what, std::strerror(errno));
+}
+
+// Frame payloads over one connected TCP socket. Send is a blocking
+// write-all; Receive polls with the caller's timeout and deframes through
+// protocol.h ExtractFrame, so short reads and coalesced frames both work.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(int fd) : fd_(fd) {
+    const int one = 1;
+    // Request/response round trips want the frame on the wire immediately.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~SocketTransport() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Send(std::string payload) override {
+    std::string wire;
+    NDV_RETURN_IF_ERROR(AppendFrame(&wire, payload));
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("send");
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> Receive(int64_t timeout_ms) override {
+    for (;;) {
+      // Serve a frame already buffered before touching the socket.
+      auto frame = ExtractFrame(&buffer_);
+      if (!frame.ok()) return frame.status();
+      if (frame->has_value()) return std::move(**frame);
+
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int timeout =
+          timeout_ms <= 0 ? -1
+                          : static_cast<int>(std::min<int64_t>(
+                                timeout_ms, 1000 * 60 * 60 * 24));
+      const int ready = ::poll(&pfd, 1, timeout);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("poll");
+      }
+      if (ready == 0) {
+        return DeadlineExceededError("no frame within %lld ms",
+                                     static_cast<long long>(timeout_ms));
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("recv");
+      }
+      if (n == 0) return UnavailableError("connection closed by peer");
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SocketServer>> SocketServer::Listen(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status = ErrnoStatus("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status status = ErrnoStatus("listen");
+    ::close(fd);
+    return status;
+  }
+  // Recover the ephemeral port the kernel picked for port 0.
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    const Status status = ErrnoStatus("getsockname");
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<SocketServer>(
+      new SocketServer(fd, ntohs(addr.sin_port)));
+}
+
+SocketServer::~SocketServer() { Shutdown(); }
+
+StatusOr<std::unique_ptr<Transport>> SocketServer::Accept() {
+  for (;;) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return UnavailableError("server shut down");
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError("accept failed: %s (server shut down?)",
+                              std::strerror(errno));
+    }
+    return std::unique_ptr<Transport>(
+        std::make_unique<SocketTransport>(client));
+  }
+}
+
+void SocketServer::Shutdown() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() first so a blocked accept() returns instead of racing the
+    // close of a reused descriptor.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+StatusOr<std::unique_ptr<Transport>> ConnectSocket(const std::string& host,
+                                                   uint16_t port,
+                                                   int64_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("invalid IPv4 address '%s'", host.c_str());
+  }
+
+  // Non-blocking connect so the timeout is honored even against a
+  // blackholed peer.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    const Status status = ErrnoStatus("connect");
+    ::close(fd);
+    return status;
+  }
+  if (rc < 0) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int timeout = timeout_ms <= 0 ? -1 : static_cast<int>(timeout_ms);
+    const int ready = ::poll(&pfd, 1, timeout);
+    if (ready <= 0) {
+      ::close(fd);
+      return ready == 0 ? DeadlineExceededError(
+                              "connect to %s:%u timed out after %lld ms",
+                              host.c_str(), static_cast<unsigned>(port),
+                              static_cast<long long>(timeout_ms))
+                        : ErrnoStatus("poll(connect)");
+    }
+    int error = 0;
+    socklen_t error_len = sizeof(error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &error_len);
+    if (error != 0) {
+      ::close(fd);
+      return UnavailableError("connect to %s:%u failed: %s", host.c_str(),
+                              static_cast<unsigned>(port),
+                              std::strerror(error));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return std::unique_ptr<Transport>(std::make_unique<SocketTransport>(fd));
+}
+
+}  // namespace ndv

@@ -1,0 +1,57 @@
+#ifndef NDV_SERVE_SOCKET_TRANSPORT_H_
+#define NDV_SERVE_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serve/transport.h"
+
+namespace ndv {
+
+// TCP transport for the stats service: protocol.h frames over a loopback
+// (or LAN) socket. POSIX-only, like the mmap storage layer.
+//
+// Errors follow the shared retry vocabulary: connection refused / reset /
+// closed are kUnavailable, a poll timeout is kDeadlineExceeded, and a
+// stream whose framing breaks (oversize length prefix) is kDataLoss —
+// unrecoverable on this connection, so the caller should reconnect.
+
+// Listening endpoint. Accept() yields one Transport per client connection.
+class SocketServer {
+ public:
+  // Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port
+  // (read it back from port()).
+  static StatusOr<std::unique_ptr<SocketServer>> Listen(uint16_t port);
+
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next client; Unavailable once Shutdown() has closed the
+  // listening socket.
+  StatusOr<std::unique_ptr<Transport>> Accept();
+
+  // Closes the listening socket, unblocking Accept(). Idempotent;
+  // thread-safe against a concurrent Accept().
+  void Shutdown();
+
+ private:
+  SocketServer(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  std::atomic<int> fd_;
+  uint16_t port_;
+};
+
+// Connects to a server; `timeout_ms` bounds the connect itself (<= 0 means
+// the OS default).
+StatusOr<std::unique_ptr<Transport>> ConnectSocket(const std::string& host,
+                                                   uint16_t port,
+                                                   int64_t timeout_ms = 5000);
+
+}  // namespace ndv
+
+#endif  // NDV_SERVE_SOCKET_TRANSPORT_H_

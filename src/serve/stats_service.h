@@ -1,0 +1,169 @@
+#ifndef NDV_SERVE_STATS_SERVICE_H_
+#define NDV_SERVE_STATS_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/concurrent_catalog.h"
+#include "catalog/incremental_stats.h"
+#include "distributed/clock.h"
+#include "distributed/retry.h"
+#include "serve/protocol.h"
+#include "serve/transport.h"
+#include "table/table.h"
+
+namespace ndv {
+
+// The NDV stats service: turns the one-shot `ndv_cli analyze` flow into a
+// long-running server that many concurrent clients query for per-column
+// [LOWER, UPPER] brackets. Architecture in DESIGN.md §13.
+//
+//   * Reads resolve against a ConcurrentStatsCatalog snapshot — an
+//     immutable epoch — so GET_STATS never blocks an in-flight ANALYZE and
+//     never observes a torn catalog.
+//   * The published catalog IS the per-table result cache. Staleness per
+//     column combines the drift trigger
+//     (IncrementalColumnTracker::IsStaleOrStatus over inserts observed
+//     since the last publication) with the paper's interval: a column is
+//     also stale when its tracker's running estimate escapes the published
+//     [LOWER, UPPER] bracket — a wide (low-information) interval tolerates
+//     more drift before forcing a re-ANALYZE than a tight one.
+//   * ANALYZE with force=false is a cache probe: it re-analyzes and
+//     publishes a new epoch only if some column is stale, otherwise it
+//     answers with the current epoch and refreshed=false.
+//   * Admission control: at most `max_inflight` requests execute at once;
+//     beyond that, Submit answers immediately with an UNAVAILABLE error
+//     frame ("overloaded") instead of queueing unboundedly — the client's
+//     retry/backoff (distributed/retry.h) is the load-shedding loop.
+
+struct StatsServiceOptions {
+  AnalyzeOptions analyze;  // estimator, sample fraction, seed, threads
+  // Drift threshold fed to IsStaleOrStatus (fraction of rows changed since
+  // the last publication that makes a column stale).
+  double stale_changed_fraction = 0.2;
+  // Reservoir capacity of each column's incremental tracker.
+  int64_t tracker_reservoir = 4096;
+  // Admission bound: requests executing concurrently before load shedding.
+  int max_inflight = 256;
+  Clock* clock = nullptr;  // nullptr = SystemClock()
+};
+
+class StatsService {
+ public:
+  // Analyzes `table` once and publishes the result as epoch 1, so the
+  // service is queryable from the start.
+  StatsService(std::shared_ptr<const Table> table,
+               StatsServiceOptions options);
+
+  StatsService(const StatsService&) = delete;
+  StatsService& operator=(const StatsService&) = delete;
+
+  // Serves one request synchronously; total (any request maps to exactly
+  // one response, malformed ones to ERROR). Thread-safe.
+  Message Handle(const Message& request);
+
+  // Admission-controlled entry point used by transports and the load
+  // generator: over-capacity requests get an immediate UNAVAILABLE reply.
+  Message Submit(const Message& request);
+
+  // Feeds the insert path: `hashes` are value hashes of rows appended to
+  // `column` since the last ANALYZE. Drives the staleness rule; unknown
+  // columns are ignored (the next full ANALYZE will pick them up).
+  void ObserveInserts(const std::string& column,
+                      const std::vector<uint64_t>& hashes);
+
+  // Read-side snapshot access (also used by benchmarks/tests).
+  std::shared_ptr<const CatalogEpoch> Snapshot() const {
+    return catalog_.Snapshot();
+  }
+  uint64_t epoch() const { return catalog_.epoch(); }
+
+  // Current number of executing requests (admission gauge).
+  int inflight() const;
+
+ private:
+  Message HandleGetStats(const Message& request);
+  Message HandleAnalyze(const Message& request);
+  Message HandleList();
+  // Staleness of one column under the published epoch; OK result pairs the
+  // verdict with the rule that fired (for logs/tests).
+  StatusOr<bool> ColumnIsStale(const ColumnStats& published);
+  // Runs AnalyzeTable and publishes the result; returns the new epoch.
+  uint64_t ReanalyzeAndPublish();
+
+  const std::shared_ptr<const Table> table_;
+  const StatsServiceOptions options_;
+  Clock& clock_;
+  ConcurrentStatsCatalog catalog_;
+
+  // Insert trackers, one per column; guarded by tracker_mutex_ (the
+  // serving hot path only reads row counters and small reservoirs).
+  mutable std::mutex tracker_mutex_;
+  std::map<std::string, std::unique_ptr<IncrementalColumnTracker>> trackers_;
+
+  // Admission control.
+  mutable std::mutex inflight_mutex_;
+  int inflight_ = 0;
+
+  // Serializes re-ANALYZE work so a thundering herd of stale probes runs
+  // one table scan, not N.
+  std::mutex analyze_mutex_;
+};
+
+// Serves decoded frames from `transport` until the peer closes (Receive
+// reports Unavailable) or a framing error proves the stream corrupt.
+// Malformed payloads are answered with ERROR frames, not dropped
+// connections. `idle_timeout_ms` <= 0 waits forever between requests.
+void ServeConnection(Transport& transport, StatsService& service,
+                     int64_t idle_timeout_ms = 0);
+
+// Client-side stub: request/response with the deadline/retry/Clock
+// machinery shared with the distributed coordinator. Transient failures
+// (UNAVAILABLE backpressure, timeouts, corrupt frames) are retried with
+// exponential backoff until `retry.max_attempts` or `deadline_ms` runs out.
+struct StatsClientOptions {
+  RetryPolicy retry;
+  int64_t attempt_timeout_ms = 1000;  // per Receive; <= 0 waits forever
+  int64_t deadline_ms = 0;            // whole-call budget; 0 = none
+  Clock* clock = nullptr;             // nullptr = SystemClock()
+};
+
+class StatsClient {
+ public:
+  StatsClient(Transport& transport, StatsClientOptions options);
+
+  // GET_STATS: the published ColumnStats + epoch + staleness verdict.
+  struct StatsResult {
+    ColumnStats stats;
+    uint64_t epoch = 0;
+    bool stale = false;
+  };
+  StatusOr<StatsResult> GetStats(const std::string& column);
+
+  // LIST: column names under the current epoch.
+  StatusOr<std::vector<std::string>> List();
+
+  // ANALYZE: ask the server to refresh; force bypasses the staleness probe.
+  struct AnalyzeResult {
+    uint64_t epoch = 0;
+    int64_t analyzed_columns = 0;
+    bool refreshed = false;
+  };
+  StatusOr<AnalyzeResult> Analyze(bool force = false);
+
+ private:
+  // One retried request/response exchange; checks the reply type.
+  StatusOr<Message> Call(const Message& request, MessageType expected);
+
+  Transport& transport_;
+  StatsClientOptions options_;
+  Clock& clock_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_SERVE_STATS_SERVICE_H_

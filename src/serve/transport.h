@@ -1,0 +1,102 @@
+#ifndef NDV_SERVE_TRANSPORT_H_
+#define NDV_SERVE_TRANSPORT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "distributed/clock.h"
+
+namespace ndv {
+
+// A bidirectional, message-oriented byte channel: one endpoint of a
+// client/server connection. Implementations deliver whole frame payloads
+// (the protocol.h length prefix is a wire detail below this interface).
+//
+// Error vocabulary (matches distributed/retry.h classification):
+//   kUnavailable      peer closed / channel down / bounded queue full
+//   kDeadlineExceeded Receive timed out
+//   kDataLoss         bytes arrived but failed framing (socket transport)
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Enqueues/writes one frame payload. Non-blocking for the in-process
+  // transport: a full bounded queue is an Unavailable error (backpressure),
+  // not a stall.
+  virtual Status Send(std::string payload) = 0;
+
+  // Blocks up to `timeout_ms` for the next inbound frame payload.
+  // timeout_ms <= 0 waits forever. DeadlineExceeded on timeout,
+  // Unavailable once the peer has closed and the queue is drained.
+  virtual StatusOr<std::string> Receive(int64_t timeout_ms) = 0;
+};
+
+// An in-process connection: a pair of endpoints joined by two bounded
+// queues. Used by tests and the serving microbenchmark, so protocol,
+// service, client, and admission control are exercised end to end with no
+// sockets and no flakiness. Thread-safe; real condition-variable waits.
+class InProcessConnection {
+ public:
+  // `queue_capacity` bounds each direction; Send into a full queue fails
+  // with Unavailable (the transport-level backpressure signal).
+  explicit InProcessConnection(size_t queue_capacity = 64);
+
+  // Defined out of line: Endpoint is only complete inside transport.cc.
+  Transport& client();
+  Transport& server();
+
+  // Closes both directions: blocked Receives wake with Unavailable and
+  // further Sends fail. Idempotent.
+  void Close();
+
+  ~InProcessConnection();
+
+ private:
+  class Queue;
+  class Endpoint;
+  std::shared_ptr<Queue> client_to_server_;
+  std::shared_ptr<Queue> server_to_client_;
+  std::unique_ptr<Endpoint> client_;
+  std::unique_ptr<Endpoint> server_;
+};
+
+// Fault kinds a FaultyTransport can inject on the receive path.
+struct TransportFault {
+  int64_t delay_ms = 0;   // sleep on the injected clock before delivering
+  bool corrupt = false;   // flip a byte in the payload
+  bool drop = false;      // swallow the frame entirely
+};
+
+// Decorates a Transport with deterministic receive-side faults, keyed by
+// the 0-based index of the received frame — the serving analogue of
+// distributed/fault_injection.h. Delays sleep on the injected Clock, so a
+// VirtualClock makes "slow reply" tests instant; a dropped frame consumes
+// the underlying frame and keeps waiting (which is how a slow reply turns
+// into the receiver's DeadlineExceeded with a real timeout).
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(Transport& wrapped, Clock& clock)
+      : wrapped_(wrapped), clock_(clock) {}
+
+  // Applies `fault` to the `frame_index`-th received frame.
+  void SetFault(int64_t frame_index, TransportFault fault);
+
+  Status Send(std::string payload) override { return wrapped_.Send(std::move(payload)); }
+  StatusOr<std::string> Receive(int64_t timeout_ms) override;
+
+ private:
+  Transport& wrapped_;
+  Clock& clock_;
+  std::mutex mutex_;
+  int64_t received_ = 0;
+  std::deque<std::pair<int64_t, TransportFault>> faults_;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_SERVE_TRANSPORT_H_

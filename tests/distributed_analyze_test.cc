@@ -426,8 +426,8 @@ TEST_F(DistributedAnalyzeTest, DegradedStatsRoundTripThroughCatalog) {
   catalog.Put(result->stats);
   auto parsed = StatsCatalog::DeserializeOrStatus(catalog.Serialize());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
-  const ColumnStats* stats = parsed->Find("value");
-  ASSERT_NE(stats, nullptr);
+  const std::optional<ColumnStats> stats = parsed->Find("value");
+  ASSERT_TRUE(stats.has_value());
   EXPECT_EQ(stats->coverage, result->stats.coverage);
   EXPECT_TRUE(stats->degraded);
   EXPECT_EQ(stats->upper, result->stats.upper);

@@ -1,5 +1,7 @@
 #include "catalog/incremental_stats.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -72,6 +74,76 @@ TEST(IncrementalTrackerTest, StalenessLifecycle) {
   tracker.Snapshot("col", *estimator);
   EXPECT_FALSE(tracker.IsStale(0.2));
   EXPECT_EQ(tracker.rows_at_last_snapshot(), 1300);
+}
+
+// Regression: IsStale used to NDV_CHECK-abort on changed_fraction <= 0.
+// A bad configuration knob must not crash the serving path; it clamps to 0
+// ("any insert is stale") instead.
+TEST(IncrementalTrackerTest, IsStaleClampsBadThresholdInsteadOfAborting) {
+  IncrementalColumnTracker tracker(100);
+  for (uint64_t v = 0; v < 100; ++v) tracker.Insert(Hash64(v));
+  const auto estimator = MakeEstimatorByName("GEE");
+  tracker.Snapshot("col", *estimator);
+  // Clamped to 0: no inserts since the snapshot, so still fresh.
+  EXPECT_FALSE(tracker.IsStale(0.0));
+  EXPECT_FALSE(tracker.IsStale(-1.0));
+  EXPECT_FALSE(tracker.IsStale(std::numeric_limits<double>::quiet_NaN()));
+  // One insert past the snapshot flips all of them to stale.
+  tracker.Insert(Hash64(12345));
+  EXPECT_TRUE(tracker.IsStale(0.0));
+  EXPECT_TRUE(tracker.IsStale(-1.0));
+  EXPECT_TRUE(tracker.IsStale(std::numeric_limits<double>::quiet_NaN()));
+  // A sane threshold still tolerates the 1% drift.
+  EXPECT_FALSE(tracker.IsStale(0.2));
+}
+
+TEST(IncrementalTrackerTest, IsStaleOrStatusRejectsBadThreshold) {
+  IncrementalColumnTracker tracker(100);
+  for (uint64_t v = 0; v < 100; ++v) tracker.Insert(Hash64(v));
+  const auto estimator = MakeEstimatorByName("GEE");
+  tracker.Snapshot("col", *estimator);
+
+  for (const double bad : {0.0, -0.5,
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    const auto result = tracker.IsStaleOrStatus(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  const auto fresh = tracker.IsStaleOrStatus(0.2);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(*fresh);
+  for (uint64_t v = 0; v < 50; ++v) tracker.Insert(Hash64(v + 9000));
+  const auto stale = tracker.IsStaleOrStatus(0.2);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(*stale);
+}
+
+TEST(IncrementalTrackerTest, StalenessFromEmptySnapshotBaseline) {
+  IncrementalColumnTracker tracker(100);
+  // Never-snapshot tracker is always stale, at any threshold.
+  EXPECT_TRUE(tracker.IsStale());
+  EXPECT_TRUE(tracker.IsStale(1000.0));
+  // MarkFresh at zero rows: baseline is an empty table, so freshness holds
+  // only until the first insert (no divide-by-zero on the empty baseline).
+  tracker.MarkFresh();
+  EXPECT_EQ(tracker.rows_at_last_snapshot(), 0);
+  EXPECT_FALSE(tracker.IsStale(0.2));
+  tracker.Insert(Hash64(1));
+  EXPECT_TRUE(tracker.IsStale(0.2));
+  EXPECT_TRUE(tracker.IsStale(1e9));  // Any growth over 0 rows is stale.
+}
+
+TEST(IncrementalTrackerTest, MarkFreshResetsDriftBaseline) {
+  IncrementalColumnTracker tracker(100);
+  for (uint64_t v = 0; v < 1000; ++v) tracker.Insert(Hash64(v));
+  tracker.MarkFresh();
+  EXPECT_EQ(tracker.rows_at_last_snapshot(), 1000);
+  EXPECT_FALSE(tracker.IsStale(0.2));
+  for (uint64_t v = 0; v < 300; ++v) tracker.Insert(Hash64(v + 4000));
+  EXPECT_TRUE(tracker.IsStale(0.2));
+  tracker.MarkFresh();
+  EXPECT_FALSE(tracker.IsStale(0.2));
 }
 
 TEST(IncrementalTrackerTest, EmptyTrackerRefusesSummary) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,9 +32,9 @@ TEST(StatsCatalogTest, PutAndFind) {
   StatsCatalog catalog;
   catalog.Put(MakeStats("a"));
   catalog.Put(MakeStats("b", 55.0));
-  ASSERT_NE(catalog.Find("a"), nullptr);
-  ASSERT_NE(catalog.Find("b"), nullptr);
-  EXPECT_EQ(catalog.Find("missing"), nullptr);
+  ASSERT_TRUE(catalog.Find("a").has_value());
+  ASSERT_TRUE(catalog.Find("b").has_value());
+  EXPECT_FALSE(catalog.Find("missing").has_value());
   EXPECT_DOUBLE_EQ(catalog.Find("b")->estimate, 55.0);
 }
 
@@ -43,6 +44,53 @@ TEST(StatsCatalogTest, PutReplacesExistingEntry) {
   catalog.Put(MakeStats("col", 20.0));
   EXPECT_EQ(catalog.entries().size(), 1u);
   EXPECT_DOUBLE_EQ(catalog.Find("col")->estimate, 20.0);
+}
+
+// Regression: Find used to return a pointer into entries_, which a
+// reallocating Put invalidated — a use-after-free under ASan. The by-value
+// Find must keep a previously returned result intact through arbitrarily
+// many inserts.
+TEST(StatsCatalogTest, FindResultSurvivesReallocatingPuts) {
+  StatsCatalog catalog;
+  catalog.Put(MakeStats("first", 42.0));
+  const std::optional<ColumnStats> held = catalog.Find("first");
+  ASSERT_TRUE(held.has_value());
+  // Far past any plausible initial vector capacity: several reallocations.
+  for (int i = 0; i < 1000; ++i) {
+    catalog.Put(MakeStats("col_" + std::to_string(i), 1.0 + i));
+  }
+  EXPECT_EQ(held->column_name, "first");
+  EXPECT_DOUBLE_EQ(held->estimate, 42.0);
+  EXPECT_EQ(held->method, "AE");
+  // The catalog itself still serves the original entry.
+  EXPECT_DOUBLE_EQ(catalog.Find("first")->estimate, 42.0);
+}
+
+// Regression: repeated Put of the same column (re-ANALYZE) must update in
+// place — last write wins — and never leave a duplicate or stale entry
+// visible through Find, entries, or Serialize.
+TEST(StatsCatalogTest, ReanalyzeNeverExposesDuplicateEntries) {
+  StatsCatalog catalog;
+  for (int round = 0; round < 5; ++round) {
+    catalog.Put(MakeStats("col", 10.0 * (round + 1)));
+    catalog.Put(MakeStats("other", 7.0));
+  }
+  EXPECT_EQ(catalog.entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(catalog.Find("col")->estimate, 50.0);
+
+  const std::string text = catalog.Serialize();
+  size_t col_lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find("col|", pos)) != std::string::npos) {
+    ++col_lines;
+    pos += 4;
+  }
+  EXPECT_EQ(col_lines, 1u) << "duplicate serialized entries:\n" << text;
+
+  const auto parsed = StatsCatalog::Deserialize(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->Find("col")->estimate, 50.0);
 }
 
 TEST(StatsCatalogTest, SelectivityIsInverseEstimate) {
@@ -59,9 +107,9 @@ TEST(StatsCatalogTest, SerializationRoundTrips) {
   const auto parsed = StatsCatalog::Deserialize(text);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->entries().size(), 3u);
-  ASSERT_NE(parsed->Find("with|pipe"), nullptr);
+  ASSERT_TRUE(parsed->Find("with|pipe").has_value());
   EXPECT_DOUBLE_EQ(parsed->Find("with|pipe")->estimate, 3.25);
-  ASSERT_NE(parsed->Find("with%percent\nand newline"), nullptr);
+  ASSERT_TRUE(parsed->Find("with%percent\nand newline").has_value());
   EXPECT_DOUBLE_EQ(parsed->Find("with%percent\nand newline")->estimate, 1e-9);
   EXPECT_EQ(parsed->Find("plain")->method, "AE");
   EXPECT_EQ(parsed->Find("plain")->table_rows, 10000);
@@ -97,8 +145,8 @@ TEST(StatsCatalogTest, SerializesAsV2WithCoverageAndDegraded) {
 
   const auto parsed = StatsCatalog::DeserializeOrStatus(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
-  const ColumnStats* found = parsed->Find("partial");
-  ASSERT_NE(found, nullptr);
+  const std::optional<ColumnStats> found = parsed->Find("partial");
+  ASSERT_TRUE(found.has_value());
   EXPECT_DOUBLE_EQ(found->coverage, 0.75);
   EXPECT_TRUE(found->degraded);
 }
@@ -113,12 +161,12 @@ TEST(StatsCatalogTest, LegacyV1FilesStillDeserialize) {
   const auto parsed = StatsCatalog::DeserializeOrStatus(v1_text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->entries().size(), 2u);
-  const ColumnStats* value = parsed->Find("value");
-  ASSERT_NE(value, nullptr);
+  const std::optional<ColumnStats> value = parsed->Find("value");
+  ASSERT_TRUE(value.has_value());
   EXPECT_EQ(value->table_rows, 10000);
   EXPECT_DOUBLE_EQ(value->coverage, 1.0);
   EXPECT_FALSE(value->degraded);
-  ASSERT_NE(parsed->Find("with|pipe"), nullptr);
+  ASSERT_TRUE(parsed->Find("with|pipe").has_value());
   EXPECT_EQ(parsed->Find("with|pipe")->method, "GEE");
 }
 
@@ -214,8 +262,8 @@ TEST(StatsCatalogTest, FuzzRoundTripAdversarialEntries) {
     const auto parsed = StatsCatalog::DeserializeOrStatus(catalog.Serialize());
     ASSERT_TRUE(parsed.ok())
         << "trial " << trial << ": " << parsed.status().ToString();
-    const ColumnStats* found = parsed->Find(stats.column_name);
-    ASSERT_NE(found, nullptr) << "trial " << trial;
+    const std::optional<ColumnStats> found = parsed->Find(stats.column_name);
+    ASSERT_TRUE(found.has_value()) << "trial " << trial;
     EXPECT_EQ(found->method, stats.method);
     EXPECT_EQ(found->table_rows, stats.table_rows);
     EXPECT_EQ(found->sample_rows, stats.sample_rows);
@@ -279,8 +327,8 @@ TEST(StatsCatalogFuzzRegressionTest, NonFiniteValuesRoundTripThroughText) {
   catalog.Put(stats);
   const auto parsed = StatsCatalog::DeserializeOrStatus(catalog.Serialize());
   ASSERT_TRUE(parsed.ok()) << parsed.status().message();
-  const ColumnStats* found = parsed.value().Find("poisoned");
-  ASSERT_NE(found, nullptr);
+  const std::optional<ColumnStats> found = parsed.value().Find("poisoned");
+  ASSERT_TRUE(found.has_value());
   EXPECT_TRUE(std::isnan(found->estimate));
   EXPECT_TRUE(std::isinf(found->upper));
   EXPECT_GT(found->upper, 0.0);
@@ -296,7 +344,7 @@ TEST(StatsCatalogFuzzRegressionTest, LowercaseHexEscapesAreAccepted) {
       "a%7cb|100|10|5|5|5|10|0.1|0|GEE\n";
   const auto parsed = StatsCatalog::DeserializeOrStatus(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().message();
-  EXPECT_NE(parsed.value().Find("a|b"), nullptr);
+  EXPECT_TRUE(parsed.value().Find("a|b").has_value());
 }
 
 TEST(StatsCatalogFuzzRegressionTest, TruncatedEscapeAtEndOfNameIsRejected) {
@@ -322,8 +370,8 @@ TEST(StatsCatalogFuzzRegressionTest, DuplicateNamesLastEntryWins) {
   const auto parsed = StatsCatalog::DeserializeOrStatus(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().message();
   ASSERT_EQ(parsed.value().entries().size(), 1u);
-  const ColumnStats* found = parsed.value().Find("col");
-  ASSERT_NE(found, nullptr);
+  const std::optional<ColumnStats> found = parsed.value().Find("col");
+  ASSERT_TRUE(found.has_value());
   EXPECT_EQ(found->table_rows, 200);
   EXPECT_EQ(found->method, "AE");
 }
@@ -363,8 +411,8 @@ TEST(StatsCatalogFuzzRegressionTest, CarriageReturnsAreDataNotLineEndings) {
       "col|100|10|5|5.0|5|10|0.1|0|GEE\r\n";
   const auto parsed = StatsCatalog::DeserializeOrStatus(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().message();
-  const ColumnStats* found = parsed.value().Find("col");
-  ASSERT_NE(found, nullptr);
+  const std::optional<ColumnStats> found = parsed.value().Find("col");
+  ASSERT_TRUE(found.has_value());
   EXPECT_EQ(found->method, "GEE\r");
 }
 
@@ -401,7 +449,7 @@ TEST(StatsCatalogFuzzRegressionTest, EmptyColumnNameIsAllowed) {
       "|100|10|5|5.0|5|10|0.1|0|GEE\n";
   const auto parsed = StatsCatalog::DeserializeOrStatus(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().message();
-  EXPECT_NE(parsed.value().Find(""), nullptr);
+  EXPECT_TRUE(parsed.value().Find("").has_value());
 }
 
 TEST(StatsCatalogFuzzRegressionTest, BlankLinesAreSkippedAnywhere) {
@@ -438,8 +486,8 @@ TEST(AnalyzeTableTest, ProducesOneEntryPerColumn) {
   options.sample_fraction = 0.05;
   const StatsCatalog catalog = AnalyzeTable(census, options);
   EXPECT_EQ(catalog.entries().size(), 15u);
-  const ColumnStats* sex = catalog.Find("sex");
-  ASSERT_NE(sex, nullptr);
+  const std::optional<ColumnStats> sex = catalog.Find("sex");
+  ASSERT_TRUE(sex.has_value());
   EXPECT_EQ(sex->table_rows, 5000);
   EXPECT_NEAR(sex->estimate, 2.0, 0.5);
   EXPECT_LE(sex->lower, sex->estimate);
@@ -456,8 +504,8 @@ TEST(AnalyzeTableTest, BoundsBracketTruthOnEveryColumn) {
   for (int64_t c = 0; c < census.NumColumns(); ++c) {
     const double actual =
         static_cast<double>(ExactDistinctHashSet(census.column(c)));
-    const ColumnStats* stats = catalog.Find(census.column_name(c));
-    ASSERT_NE(stats, nullptr);
+    const std::optional<ColumnStats> stats = catalog.Find(census.column_name(c));
+    ASSERT_TRUE(stats.has_value());
     EXPECT_LE(stats->lower, actual) << stats->column_name;
     EXPECT_GE(stats->upper, actual) << stats->column_name;
   }
@@ -474,8 +522,8 @@ TEST(AnalyzeTableTest, ExactModeRecordsGroundTruth) {
   for (int64_t c = 0; c < census.NumColumns(); ++c) {
     const double actual =
         static_cast<double>(ExactDistinctHashSet(census.column(c)));
-    const ColumnStats* stats = catalog.Find(census.column_name(c));
-    ASSERT_NE(stats, nullptr);
+    const std::optional<ColumnStats> stats = catalog.Find(census.column_name(c));
+    ASSERT_TRUE(stats.has_value());
     EXPECT_EQ(stats->method, "EXACT");
     EXPECT_EQ(stats->table_rows, census.column(c).size());
     EXPECT_EQ(stats->sample_rows, census.column(c).size());
@@ -509,8 +557,8 @@ TEST(AnalyzeTableTest, CatalogRoundTripsThroughText) {
   ASSERT_TRUE(parsed.has_value());
   ASSERT_EQ(parsed->entries().size(), catalog.entries().size());
   for (const ColumnStats& stats : catalog.entries()) {
-    const ColumnStats* roundtripped = parsed->Find(stats.column_name);
-    ASSERT_NE(roundtripped, nullptr);
+    const std::optional<ColumnStats> roundtripped = parsed->Find(stats.column_name);
+    ASSERT_TRUE(roundtripped.has_value());
     EXPECT_DOUBLE_EQ(roundtripped->estimate, stats.estimate);
     EXPECT_DOUBLE_EQ(roundtripped->upper, stats.upper);
     EXPECT_EQ(roundtripped->sample_rows, stats.sample_rows);

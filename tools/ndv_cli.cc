@@ -8,6 +8,8 @@
 //   distributed fault-tolerant coordinator/worker ANALYZE of one column
 //   sketch      full-scan probabilistic counting over one column
 //   lowerbound  evaluate the Theorem 1 bound for given n, r, gamma
+//   serve       run the NDV stats service over a table (TCP, loopback)
+//   query       query a running stats service (get | list | analyze)
 //
 // Every --in file is auto-detected by content: files starting with the
 // ndvpack magic open zero-copy by mmap, everything else parses as CSV.
@@ -24,14 +26,24 @@
 //   ndv_cli distributed --in=data.csv --fail=0,3   # degraded interval demo
 //   ndv_cli sketch --in=data.csv --column=value
 //   ndv_cli lowerbound --n=1000000 --r=10000 --gamma=0.5
+//   ndv_cli serve --in=data.ndvpack --port=7979
+//   ndv_cli serve --in=data.csv --selftest   # in-process smoke, then exit
+//   ndv_cli query --port=7979 --op=list
+//   ndv_cli query --port=7979 --op=get --column=value
+//   ndv_cli query --port=7979 --op=analyze --force
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "catalog/stats_catalog.h"
 #include "core/all_estimators.h"
@@ -42,6 +54,8 @@
 #include "datagen/real_world_like.h"
 #include "datagen/zipf.h"
 #include "harness/report.h"
+#include "serve/socket_transport.h"
+#include "serve/stats_service.h"
 #include "sketch/exact_counter.h"
 #include "storage/ndvpack.h"
 #include "storage/table_loader.h"
@@ -370,11 +384,171 @@ int CmdLowerBound(const Flags& flags) {
   return 0;
 }
 
+void PrintStatsResult(const ndv::StatsClient::StatsResult& result) {
+  const ndv::ColumnStats& stats = result.stats;
+  std::printf("column '%s' @ epoch %llu%s\n", stats.column_name.c_str(),
+              static_cast<unsigned long long>(result.epoch),
+              result.stale ? " (STALE: re-ANALYZE recommended)" : "");
+  std::printf("  %s estimate = %.1f, interval [%.1f, %.1f]\n",
+              stats.method.c_str(), stats.estimate, stats.lower,
+              stats.upper);
+  std::printf("  table rows %lld, sampled %lld, sample distinct %lld\n",
+              static_cast<long long>(stats.table_rows),
+              static_cast<long long>(stats.sample_rows),
+              static_cast<long long>(stats.sample_distinct));
+}
+
+// Exercises the full socket path against a service this process is
+// serving: LIST, GET_STATS per column, and a forced ANALYZE that must
+// advance the epoch. Returns 0 on success.
+int RunServeSelftest(uint16_t port) {
+  auto transport = ndv::ConnectSocket("127.0.0.1", port);
+  if (!transport.ok()) Fail(transport.status().ToString());
+  ndv::StatsClient client(**transport, {});
+
+  const auto columns = client.List();
+  if (!columns.ok()) Fail(columns.status().ToString());
+  if (columns->empty()) Fail("selftest: service published no columns");
+  for (const std::string& name : *columns) {
+    const auto stats = client.GetStats(name);
+    if (!stats.ok()) Fail(stats.status().ToString());
+    PrintStatsResult(*stats);
+  }
+  const auto first = client.GetStats((*columns)[0]);
+  if (!first.ok()) Fail(first.status().ToString());
+  const auto analyzed = client.Analyze(/*force=*/true);
+  if (!analyzed.ok()) Fail(analyzed.status().ToString());
+  if (!analyzed->refreshed || analyzed->epoch <= first->epoch) {
+    Fail("selftest: forced ANALYZE did not advance the epoch");
+  }
+  const auto missing = client.GetStats("__no_such_column__");
+  if (missing.ok() ||
+      missing.status().code() != ndv::StatusCode::kNotFound) {
+    Fail("selftest: expected NotFound for an unknown column");
+  }
+  std::printf("selftest OK: %zu columns, epoch %llu -> %llu\n",
+              columns->size(),
+              static_cast<unsigned long long>(first->epoch),
+              static_cast<unsigned long long>(analyzed->epoch));
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  const std::string in_path = GetFlag(flags, "in", "");
+  if (in_path.empty()) Fail("--in is required");
+  auto table = std::make_shared<ndv::Table>(LoadTable(in_path));
+
+  ndv::StatsServiceOptions options;
+  options.analyze.sample_fraction = GetDouble(flags, "fraction", 0.01);
+  options.analyze.estimator = GetFlag(flags, "estimator", "AE");
+  options.analyze.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  options.analyze.threads = static_cast<int>(GetInt(flags, "threads", 0));
+  options.stale_changed_fraction =
+      GetDouble(flags, "stale-fraction", 0.2);
+  options.max_inflight =
+      static_cast<int>(GetInt(flags, "max-inflight", 256));
+  ndv::StatsService service(std::move(table), options);
+
+  const bool selftest = GetFlag(flags, "selftest", "false") == "true";
+  // --selftest always uses an ephemeral port so parallel ctest runs of the
+  // smoke test cannot collide.
+  const uint16_t port = static_cast<uint16_t>(
+      selftest ? 0 : GetInt(flags, "port", 7979));
+  auto server = ndv::SocketServer::Listen(port);
+  if (!server.ok()) Fail(server.status().ToString());
+  std::printf("ndv stats service on 127.0.0.1:%u (%lld columns, epoch "
+              "%llu)\n",
+              static_cast<unsigned>((*server)->port()),
+              static_cast<long long>(
+                  service.Snapshot()->catalog.entries().size()),
+              static_cast<unsigned long long>(service.epoch()));
+
+  // Thread-per-connection accept loop; every connection shares the one
+  // service, whose snapshot reads and admission gate do the coordination.
+  std::mutex workers_mutex;
+  std::vector<std::thread> workers;
+  const auto accept_loop = [&] {
+    for (;;) {
+      auto accepted = (*server)->Accept();
+      if (!accepted.ok()) return;  // Shutdown (or a fatal accept error).
+      std::shared_ptr<ndv::Transport> transport(std::move(*accepted));
+      std::lock_guard<std::mutex> lock(workers_mutex);
+      workers.emplace_back([transport, &service] {
+        ndv::ServeConnection(*transport, service);
+      });
+    }
+  };
+
+  if (!selftest) {
+    accept_loop();  // Serves until the process is killed.
+    return 0;
+  }
+
+  std::thread acceptor(accept_loop);
+  const int result = RunServeSelftest((*server)->port());
+  (*server)->Shutdown();
+  acceptor.join();
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex);
+    for (std::thread& worker : workers) worker.join();
+  }
+  return result;
+}
+
+int CmdQuery(const Flags& flags) {
+  const std::string host = GetFlag(flags, "host", "127.0.0.1");
+  const uint16_t port =
+      static_cast<uint16_t>(GetInt(flags, "port", 7979));
+  auto transport =
+      ndv::ConnectSocket(host, port, GetInt(flags, "connect-timeout", 5000));
+  if (!transport.ok()) Fail(transport.status().ToString());
+
+  ndv::StatsClientOptions options;
+  options.attempt_timeout_ms = GetInt(flags, "timeout", 2000);
+  options.retry.max_attempts =
+      static_cast<int>(GetInt(flags, "max-attempts", 3));
+  ndv::StatsClient client(**transport, options);
+
+  const std::string op = GetFlag(flags, "op", "list");
+  if (op == "list") {
+    const auto columns = client.List();
+    if (!columns.ok()) Fail(columns.status().ToString());
+    for (const std::string& name : *columns) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (op == "get") {
+    const std::string column = GetFlag(flags, "column", "");
+    if (column.empty()) Fail("--column is required for --op=get");
+    const auto stats = client.GetStats(column);
+    if (!stats.ok()) Fail(stats.status().ToString());
+    PrintStatsResult(*stats);
+    return 0;
+  }
+  if (op == "analyze") {
+    const bool force = GetFlag(flags, "force", "false") == "true";
+    const auto result = client.Analyze(force);
+    if (!result.ok()) Fail(result.status().ToString());
+    if (result->refreshed) {
+      std::printf("re-analyzed %lld columns; now at epoch %llu\n",
+                  static_cast<long long>(result->analyzed_columns),
+                  static_cast<unsigned long long>(result->epoch));
+    } else {
+      std::printf("statistics fresh at epoch %llu (cache hit, nothing "
+                  "stale)\n",
+                  static_cast<unsigned long long>(result->epoch));
+    }
+    return 0;
+  }
+  Fail("unknown --op '" + op + "' (use list|get|analyze)");
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: ndv_cli "
                "<generate|pack|estimate|analyze|distributed|sketch|"
-               "lowerbound> "
+               "lowerbound|serve|query> "
                "[--flag=value ...]\nsee the header of tools/ndv_cli.cc for "
                "examples\n");
 }
@@ -395,6 +569,8 @@ int main(int argc, char** argv) {
   if (command == "distributed") return CmdDistributed(flags);
   if (command == "sketch") return CmdSketch(flags);
   if (command == "lowerbound") return CmdLowerBound(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "query") return CmdQuery(flags);
   PrintUsage();
   return 2;
 }
