@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/durable_catalog.h"
 #include "datagen/zipf.h"
 #include "serve/protocol.h"
 #include "serve/stats_service.h"
@@ -156,13 +157,32 @@ int main(int argc, char** argv) {
   table.AddColumn("value", ndv::MakeZipfColumn(column_options));
   auto shared_table = std::make_shared<ndv::Table>(std::move(table));
 
+  // Every publication during the run is journaled to a WAL, so the bench
+  // ends by measuring the crash-recovery path: re-opening the durable
+  // catalog and replaying the journal a restarted server would boot from.
+  const std::string wal_dir =
+      flags.count("wal-dir") ? flags["wal-dir"] : "bench_serving_wal";
+  const int64_t snapshot_every = FlagInt(flags, "snapshot-every", 256);
+  std::system(("rm -rf " + wal_dir).c_str());
+  auto durable_or = ndv::DurableCatalog::Open(
+      {.dir = wal_dir, .snapshot_every_records = snapshot_every});
+  if (!durable_or.ok()) {
+    std::fprintf(stderr, "cannot open durable catalog in %s: %s\n",
+                 wal_dir.c_str(), durable_or.status().ToString().c_str());
+    return 1;
+  }
+  auto durable = std::move(*durable_or);
+
   ndv::StatsServiceOptions service_options;
   service_options.analyze.sample_fraction = 0.01;
   service_options.analyze.threads = 1;
+  service_options.durable = durable.get();
   ndv::StatsService service(std::move(shared_table), service_options);
-  std::printf("serving 1 column of %lld rows at epoch %llu\n",
+  std::printf("serving 1 column of %lld rows at epoch %llu "
+              "(journaling to %s)\n",
               static_cast<long long>(rows),
-              static_cast<unsigned long long>(service.epoch()));
+              static_cast<unsigned long long>(service.epoch()),
+              wal_dir.c_str());
 
   const ndv::Message get_request = GetStatsRequest("value");
 
@@ -249,6 +269,26 @@ int main(int argc, char** argv) {
               static_cast<long long>(target_qps),
               static_cast<long long>(open_errors));
 
+  // ---- Recovery: boot a fresh catalog from the journal the run just
+  // wrote (the writer is quiescent, so the on-disk store is stable). This
+  // is exactly what `ndv_cli serve --wal-dir` does on restart; boot time
+  // covers snapshot load + WAL replay.
+  auto recovered_or = ndv::DurableCatalog::Open(
+      {.dir = wal_dir, .snapshot_every_records = snapshot_every});
+  if (!recovered_or.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered_or.status().ToString().c_str());
+    return 1;
+  }
+  const ndv::RecoveryInfo recovery = (*recovered_or)->recovery();
+  std::printf("recovery: epoch %llu in %.3f ms (%lld snapshot entries, "
+              "%lld WAL records replayed, %lld skipped)\n",
+              static_cast<unsigned long long>(recovery.epoch),
+              recovery.boot_millis,
+              static_cast<long long>(recovery.snapshot_entries),
+              static_cast<long long>(recovery.replayed_records),
+              static_cast<long long>(recovery.skipped_records));
+
   std::string json = "{\n  \"config\": {";
   {
     char buffer[512];
@@ -269,6 +309,20 @@ int main(int argc, char** argv) {
   AppendSummaryJson(&json, closed);
   json.append(",\n  \"open_loop\": ");
   AppendSummaryJson(&json, open);
+  json.append(",\n  \"recovery\": ");
+  {
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"boot_ms\": %.3f, \"epoch\": %llu, "
+                  "\"snapshot_entries\": %lld, \"replayed_records\": %lld, "
+                  "\"skipped_records\": %lld}",
+                  recovery.boot_millis,
+                  static_cast<unsigned long long>(recovery.epoch),
+                  static_cast<long long>(recovery.snapshot_entries),
+                  static_cast<long long>(recovery.replayed_records),
+                  static_cast<long long>(recovery.skipped_records));
+    json.append(buffer);
+  }
   json.append("\n}\n");
 
   std::ofstream out(out_path);

@@ -1,0 +1,78 @@
+// Fuzzes the serve wire protocol (serve/protocol.h): the stream deframer
+// and the message decoder, which together parse every byte an untrusted
+// peer can send the stats service. Properties beyond "no crash":
+//   - parsing is total: any input yields a Message or a typed Status with
+//     a non-empty diagnostic — never an abort;
+//   - the deframer never over-consumes: it takes at most one complete
+//     frame and leaves the rest of the stream intact;
+//   - accepted messages round-trip: Encode(Decode(payload)) decodes again
+//     and re-encodes to the same bytes (the encoded form is a fixed
+//     point), so a proxy or journal that re-frames messages is lossless;
+//   - ERROR frames carry their Status faithfully (code and message
+//     survive StatusFromError).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "serve/protocol.h"
+
+namespace {
+
+constexpr size_t kMaxInputBytes = 1 << 16;
+
+// Exercises one decoded payload: re-encode, re-decode, compare.
+void CheckRoundTrip(const ndv::Message& message) {
+  const std::string encoded = ndv::EncodeMessage(message);
+  const auto decoded = ndv::DecodeMessage(encoded);
+  NDV_CHECK_MSG(decoded.ok(), "re-decode of EncodeMessage failed: %s",
+                decoded.status().ToString().c_str());
+  const std::string second = ndv::EncodeMessage(*decoded);
+  NDV_CHECK(second == encoded);
+  if (message.type == ndv::MessageType::kError) {
+    const ndv::Status carried = ndv::StatusFromError(*decoded);
+    NDV_CHECK(carried.code() == message.error_code);
+    NDV_CHECK(carried.message() == message.error_message);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInputBytes) return 0;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // 1. The raw payload decoder must be total over arbitrary bytes.
+  const auto message = ndv::DecodeMessage(input);
+  if (message.ok()) {
+    CheckRoundTrip(*message);
+  } else {
+    NDV_CHECK(!message.status().message().empty());
+  }
+
+  // 2. The stream deframer: feed the input as a receive buffer and drain
+  // it frame by frame, decoding every payload the framing accepts. The
+  // deframer must consume exactly the frames it returns and stop cleanly
+  // at an incomplete tail or a poisoned length prefix.
+  std::string buffer(input);
+  for (;;) {
+    const size_t before = buffer.size();
+    auto frame = ndv::ExtractFrame(&buffer);
+    if (!frame.ok()) {
+      // Oversize length prefix: the stream is dead, buffer untouched.
+      NDV_CHECK(!frame.status().message().empty());
+      NDV_CHECK_EQ(buffer.size(), before);
+      break;
+    }
+    if (!frame->has_value()) {
+      NDV_CHECK_EQ(buffer.size(), before);  // Incomplete: wait for bytes.
+      break;
+    }
+    NDV_CHECK_EQ(before, buffer.size() + 4 + (*frame)->size());
+    const auto framed = ndv::DecodeMessage(**frame);
+    if (framed.ok()) CheckRoundTrip(*framed);
+  }
+  return 0;
+}

@@ -2,14 +2,20 @@
 
 #include <utility>
 
+#include "common/check.h"
+
 namespace ndv {
 
 ConcurrentStatsCatalog::ConcurrentStatsCatalog()
     : current_(std::make_shared<CatalogEpoch>()) {}
 
-ConcurrentStatsCatalog::ConcurrentStatsCatalog(StatsCatalog initial) {
+ConcurrentStatsCatalog::ConcurrentStatsCatalog(StatsCatalog initial)
+    : ConcurrentStatsCatalog(std::move(initial), 1) {}
+
+ConcurrentStatsCatalog::ConcurrentStatsCatalog(StatsCatalog initial,
+                                               uint64_t initial_epoch) {
   auto epoch = std::make_shared<CatalogEpoch>();
-  epoch->epoch = 1;
+  epoch->epoch = initial_epoch;
   epoch->catalog = std::move(initial);
   current_ = std::move(epoch);
 }
@@ -45,6 +51,18 @@ uint64_t ConcurrentStatsCatalog::Put(ColumnStats stats) {
 uint64_t ConcurrentStatsCatalog::Publish(StatsCatalog catalog) {
   std::lock_guard<std::mutex> writer(writer_mutex_);
   return PublishLocked(std::move(catalog));
+}
+
+uint64_t ConcurrentStatsCatalog::PublishAt(StatsCatalog catalog,
+                                           uint64_t epoch) {
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  auto next = std::make_shared<CatalogEpoch>();
+  next->epoch = epoch;
+  next->catalog = std::move(catalog);
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  NDV_CHECK_GT(epoch, current_->epoch);
+  current_ = std::move(next);
+  return epoch;
 }
 
 uint64_t ConcurrentStatsCatalog::Update(

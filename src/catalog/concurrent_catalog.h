@@ -46,6 +46,11 @@ class ConcurrentStatsCatalog {
   ConcurrentStatsCatalog();
   // Starts at epoch 1 with `initial` already published.
   explicit ConcurrentStatsCatalog(StatsCatalog initial);
+  // Starts with `initial` published at exactly `epoch` — the durable
+  // recovery path, where the restarted process must resume the persistent
+  // epoch sequence rather than restart from 1 (an epoch the WAL has
+  // already journaled must never be reissued for different contents).
+  ConcurrentStatsCatalog(StatsCatalog initial, uint64_t epoch);
 
   ConcurrentStatsCatalog(const ConcurrentStatsCatalog&) = delete;
   ConcurrentStatsCatalog& operator=(const ConcurrentStatsCatalog&) = delete;
@@ -66,6 +71,10 @@ class ConcurrentStatsCatalog {
   uint64_t Put(ColumnStats stats);
   // Publish: wholesale replacement — the post-ANALYZE path.
   uint64_t Publish(StatsCatalog catalog);
+  // Publish at an explicit epoch (must exceed the current one): the
+  // durable-serving path, where the WAL assigns epochs and the in-memory
+  // generation number must match what the journal acknowledged.
+  uint64_t PublishAt(StatsCatalog catalog, uint64_t epoch);
   // Update: general read-copy-update; `mutate` runs on a private copy of
   // the current catalog while readers continue against the old generation.
   uint64_t Update(const std::function<void(StatsCatalog&)>& mutate);

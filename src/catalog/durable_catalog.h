@@ -1,0 +1,150 @@
+#ifndef NDV_CATALOG_DURABLE_CATALOG_H_
+#define NDV_CATALOG_DURABLE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "catalog/stats_catalog.h"
+#include "common/status.h"
+
+namespace ndv {
+
+// Crash-safe persistence under the catalog (DESIGN.md §14): every Put and
+// every epoch publication is journaled to an append-only write-ahead log
+// before it is acknowledged, and the log is periodically compacted into a
+// checksummed snapshot replaced by atomic rename. After a crash at ANY
+// instruction, Open() recovers a catalog that is bit-identical to the last
+// acknowledged state: no acknowledged record is lost, no partial record is
+// applied.
+//
+// On-disk layout inside `dir`:
+//   snapshot.ndv       newest compacted state ("NDVSNAP1" header, epoch,
+//                      catalog v2 text payload, Checksum64 trailer);
+//                      replaced only by write-temp + fsync + rename.
+//   snapshot.prev.ndv  the previous snapshot, kept until the next
+//                      compaction succeeds (fallback if snapshot.ndv is
+//                      unreadable).
+//   wal.log            records appended since the newest snapshot
+//                      ("NDVWAL1\n" header, then length-prefixed records).
+//   wal.prev.log       the pre-compaction log, kept one rotation (replay
+//                      of it is a no-op thanks to epoch filtering, but it
+//                      backs the snapshot.prev fallback path).
+//
+// WAL record framing (the serve-protocol framing discipline applied to
+// disk): u32 payload length | u64 Checksum64(payload) | payload, where
+// payload = u8 kind | u64 epoch | body. Kinds: PUT (one binary-encoded
+// ColumnStats) and PUBLISH (whole-catalog replacement: u32 count +
+// ColumnStats each). Integers are fixed-width little-endian, strings are
+// u32 length + raw bytes, doubles travel as their IEEE-754 bit pattern —
+// exactly the serve wire conventions, so "bit-identical" is literal.
+//
+// Replay semantics are EXACT PREFIX: records are applied in order until
+// the first record whose length, checksum, or body fails validation; that
+// record and everything after it are discarded and the live log is
+// physically truncated to the valid prefix (a torn tail from a mid-append
+// crash must not sit in front of future appends). A record therefore
+// either fully applies or leaves no trace. Records at or below the
+// recovered snapshot epoch are skipped, which is what makes the
+// compaction protocol (snapshot first, rotate the log second) safe to
+// interrupt anywhere: replaying the old log onto the new snapshot is a
+// filtered no-op.
+//
+// Acknowledgment contract: with FsyncPolicy::kEveryRecord an Append*
+// call that returns OK has fsynced the record — the caller may
+// acknowledge it to a client, and recovery WILL reproduce it. With
+// kNone, durability is best-effort until Sync()/Compact() (the knob for
+// bulk loads where the tail is re-derivable).
+enum class FsyncPolicy {
+  kEveryRecord,  // fsync the WAL before acknowledging each append
+  kNone,         // leave flushing to the kernel; Sync()/Compact() to force
+};
+
+struct DurableCatalogOptions {
+  std::string dir;  // created if missing (one level)
+  FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
+  // Compact (snapshot + rotate the WAL) automatically after this many
+  // appended records. <= 0 disables auto-compaction (explicit Compact()
+  // only).
+  int64_t snapshot_every_records = 1024;
+};
+
+// What recovery found and did, for operator visibility and tests.
+struct RecoveryInfo {
+  uint64_t epoch = 0;             // recovered epoch (0 = fresh directory)
+  int64_t snapshot_entries = -1;  // -1 = no usable snapshot
+  bool used_fallback_snapshot = false;  // snapshot.prev.ndv answered
+  int64_t replayed_records = 0;   // WAL records applied on top
+  int64_t skipped_records = 0;    // records at/below the snapshot epoch
+  int64_t truncated_bytes = 0;    // torn/corrupt tail bytes discarded
+  double boot_millis = 0.0;       // wall clock of Open(): load + replay
+};
+
+class DurableCatalog {
+ public:
+  // Opens (creating if needed) the durable catalog in options.dir and
+  // recovers: snapshot load (with fallback), WAL replay, tail repair.
+  // Fails only on environmental errors (unwritable directory, I/O
+  // errors) — torn and corrupt data is recovered around, never fatal.
+  static StatusOr<std::unique_ptr<DurableCatalog>> Open(
+      DurableCatalogOptions options);
+
+  DurableCatalog(const DurableCatalog&) = delete;
+  DurableCatalog& operator=(const DurableCatalog&) = delete;
+  ~DurableCatalog();
+
+  // The recovered / current state. `state()` is the in-memory mirror the
+  // WAL and snapshots agree on; epoch() counts every applied record.
+  const StatsCatalog& state() const { return state_; }
+  uint64_t epoch() const { return epoch_; }
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  // Journals one column upsert (StatsCatalog::Put semantics) and applies
+  // it to the in-memory state. OK return = durable per the fsync policy.
+  Status AppendPut(const ColumnStats& stats);
+
+  // Journals a whole-catalog replacement — the ANALYZE publication path.
+  Status AppendPublish(const StatsCatalog& catalog);
+
+  // Writes a compacted snapshot of the current state and rotates the WAL.
+  // Safe to crash at any internal boundary (see file comment).
+  Status Compact();
+
+  // Forces the WAL to disk (meaningful under FsyncPolicy::kNone).
+  Status Sync();
+
+  // Records appended since the last compaction (auto-compaction gauge).
+  int64_t records_since_snapshot() const { return records_since_snapshot_; }
+
+  // File names inside a durable directory (shared with tools and tests).
+  static constexpr std::string_view kSnapshotFile = "snapshot.ndv";
+  static constexpr std::string_view kSnapshotPrevFile = "snapshot.prev.ndv";
+  static constexpr std::string_view kWalFile = "wal.log";
+  static constexpr std::string_view kWalPrevFile = "wal.prev.log";
+
+ private:
+  explicit DurableCatalog(DurableCatalogOptions options);
+
+  std::string PathTo(std::string_view file) const;
+  Status Recover();
+  // Replays one WAL file. `repair` physically truncates the file to the
+  // valid prefix (the live log); the rotated log is left untouched.
+  Status ReplayWal(const std::string& path, bool repair);
+  Status AppendRecord(std::string payload);
+  Status OpenWalForAppend();
+  Status CompactLocked();  // Compact() body; mutex_ already held.
+
+  const DurableCatalogOptions options_;
+  mutable std::mutex mutex_;
+  StatsCatalog state_;
+  uint64_t epoch_ = 0;
+  int64_t records_since_snapshot_ = 0;
+  RecoveryInfo recovery_;
+  int wal_fd_ = -1;
+};
+
+}  // namespace ndv
+
+#endif  // NDV_CATALOG_DURABLE_CATALOG_H_

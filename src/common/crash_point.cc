@@ -1,0 +1,129 @@
+#include "common/crash_point.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace ndv {
+namespace {
+
+// All registry state behind one mutex. Crash points sit on durability
+// paths (append/fsync/rename), where a mutex acquisition is noise next to
+// the I/O the site brackets.
+struct Registry {
+  std::mutex mutex;
+  std::string armed_site;   // empty = disarmed
+  int64_t armed_hit = 0;    // 1-based execution that crashes
+  // Execution counts in first-execution order (sites number in the tens,
+  // so a vector scan beats a map for both code size and locality).
+  std::vector<std::pair<std::string, int64_t>> counts;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> crash_points_active{false};
+
+void CrashPointReached(const char* site) {
+  Registry& registry = GetRegistry();
+  bool crash = false;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    int64_t* count = nullptr;
+    for (auto& [name, hits] : registry.counts) {
+      if (name == site) {
+        count = &hits;
+        break;
+      }
+    }
+    if (count == nullptr) {
+      registry.counts.emplace_back(site, 0);
+      count = &registry.counts.back().second;
+    }
+    ++*count;
+    crash = !registry.armed_site.empty() && registry.armed_site == site &&
+            *count == registry.armed_hit;
+  }
+  if (crash) {
+    // stderr is line-buffered at worst and _exit flushes nothing — write
+    // the marker with the raw syscall so the parent can see where we died.
+    char buffer[256];
+    const int length = std::snprintf(buffer, sizeof(buffer),
+                                     "NDV_CRASH_POINT fired: %s\n", site);
+    if (length > 0) {
+      const ssize_t ignored =
+          ::write(STDERR_FILENO, buffer, static_cast<size_t>(length));
+      (void)ignored;
+    }
+    ::_exit(kCrashPointExitCode);
+  }
+}
+
+}  // namespace internal
+
+void ArmCrashPoint(std::string site, int64_t hit) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (hit < 1 || site.empty()) {
+    registry.armed_site.clear();
+    registry.armed_hit = 0;
+  } else {
+    registry.armed_site = std::move(site);
+    registry.armed_hit = hit;
+    internal::crash_points_active.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool ArmCrashPointFromEnv() {
+  const char* value = std::getenv("NDV_CRASH_POINT");
+  if (value == nullptr || *value == '\0') return false;
+  const std::string spec(value);
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long long hit = std::strtoll(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || hit < 1) return false;
+  ArmCrashPoint(spec.substr(0, colon), hit);
+  return true;
+}
+
+void ResetCrashPoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.armed_site.clear();
+  registry.armed_hit = 0;
+  registry.counts.clear();
+  internal::crash_points_active.store(false, std::memory_order_relaxed);
+}
+
+void EnableCrashPointCounting() {
+  internal::crash_points_active.store(true, std::memory_order_relaxed);
+}
+
+int64_t CrashPointHits(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& [name, hits] : registry.counts) {
+    if (name == site) return hits;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, int64_t>> CrashPointCounts() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return registry.counts;
+}
+
+}  // namespace ndv

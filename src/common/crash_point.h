@@ -1,0 +1,80 @@
+#ifndef NDV_COMMON_CRASH_POINT_H_
+#define NDV_COMMON_CRASH_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ndv {
+
+// Deterministic process-crash injection for durability code (the
+// crash-recovery analogue of distributed/fault_injection.h FaultPlan).
+//
+// Durability-critical code marks every boundary where a crash must be
+// survivable — before/between/after the write, fsync, and rename steps of
+// the WAL and snapshot protocols — with NDV_CRASH_POINT("site.name"). In a
+// normal process the macro costs one relaxed atomic load and a predictable
+// branch. When a site is ARMED with a hit count, the Nth execution of that
+// site terminates the process immediately via _exit(kCrashPointExitCode) —
+// no atexit handlers, no buffer flushes, no destructors — which is the
+// closest userspace approximation of the machine dying at that exact
+// instruction.
+//
+// Arming is either programmatic (ArmCrashPoint, used by death tests) or via
+// the environment (NDV_CRASH_POINT="wal.append.synced:3", read by
+// ArmCrashPointFromEnv), which is how the tools/ndv_crash chaos driver arms
+// its forked children. Exactly one site can be armed at a time: a schedule
+// of crashes is a schedule of processes, keyed by (site, hit) like
+// FaultPlan is keyed by (partition, attempt).
+//
+// Independent of arming, the registry counts how often each site executes.
+// The chaos driver runs the workload once clean, reads the counts, and
+// derives the exhaustive (site, hit) schedule from them — so "every
+// fsync/rename/append boundary" is enumerated, not hand-listed.
+
+inline constexpr int kCrashPointExitCode = 77;
+
+// Arms `site` to crash the process on its `hit`-th execution (1-based).
+// Replaces any previous arming. hit < 1 disarms.
+void ArmCrashPoint(std::string site, int64_t hit);
+
+// Arms from the NDV_CRASH_POINT environment variable ("site:hit"); no-op
+// when unset or malformed. Returns true when a site was armed.
+bool ArmCrashPointFromEnv();
+
+// Disarms and zeroes all execution counters (test isolation).
+void ResetCrashPoints();
+
+// Executions of `site` so far in this process.
+int64_t CrashPointHits(std::string_view site);
+
+// Every site executed so far with its count, in first-execution order.
+// The chaos driver's schedule source.
+std::vector<std::pair<std::string, int64_t>> CrashPointCounts();
+
+namespace internal {
+// True when any site is armed or counting has been requested; lets the
+// macro skip the map lookup entirely on the cold path.
+extern std::atomic<bool> crash_points_active;
+// Slow path: count the execution and _exit if this hit is the armed one.
+void CrashPointReached(const char* site);
+}  // namespace internal
+
+// Marks one crash-survivable boundary. `site` must be a string literal.
+#define NDV_CRASH_POINT(site)                                         \
+  do {                                                                \
+    if (::ndv::internal::crash_points_active.load(                    \
+            std::memory_order_relaxed)) {                             \
+      ::ndv::internal::CrashPointReached(site);                       \
+    }                                                                 \
+  } while (false)
+
+// Turns on execution counting without arming a crash (clean discovery run).
+void EnableCrashPointCounting();
+
+}  // namespace ndv
+
+#endif  // NDV_COMMON_CRASH_POINT_H_

@@ -288,6 +288,12 @@ StatusOr<DistributedAnalyzeResult> DistributedAnalyze(
   NDV_DCHECK_LE(stats.lower, stats.upper);
   NDV_DCHECK_GE(stats.estimate, stats.lower);
   NDV_DCHECK(stats.coverage > 0.0 && stats.coverage <= 1.0);
+  if (options.durable != nullptr) {
+    // Journal before acknowledging: a degraded result in particular is
+    // expensive to recompute (its failed partitions may stay failed), so
+    // it must survive a coordinator crash once this call returns.
+    NDV_RETURN_IF_ERROR(options.durable->AppendPut(stats));
+  }
   return result;
 }
 

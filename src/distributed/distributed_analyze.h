@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "catalog/durable_catalog.h"
 #include "catalog/stats_catalog.h"
 #include "common/status.h"
 #include "core/gee.h"
@@ -77,6 +78,14 @@ struct DistributedAnalyzeOptions {
   // Test hooks (not owned; may be nullptr).
   const FaultPlan* faults = nullptr;  // nullptr = no injected faults
   Clock* clock = nullptr;             // nullptr = SystemClock()
+
+  // Optional durability (not owned): when set, the coordinator journals
+  // the finished ColumnStats — including degraded-coverage results —
+  // through the durable catalog's WAL before returning, so a post-ANALYZE
+  // crash cannot lose what the coordinator already paid partitions to
+  // compute. A journal failure fails the analyze (the result would not
+  // survive recovery, so it is not acknowledged).
+  DurableCatalog* durable = nullptr;
 };
 
 enum class PartitionState {

@@ -16,6 +16,53 @@
 #include "serve/protocol.h"
 
 namespace ndv {
+namespace internal {
+
+Status SendAllBytes(std::string_view bytes, const WriteSomeFn& write_some) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = write_some(bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError("send failed after %zu of %zu bytes: %s",
+                              sent, bytes.size(), std::strerror(errno));
+    }
+    if (n == 0) {
+      return UnavailableError("send stalled at %zu of %zu bytes", sent,
+                              bytes.size());
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadIntoBuffer(std::string* buffer, const ReadSomeFn& read_some) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = read_some(chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError("recv failed: %s", std::strerror(errno));
+    }
+    if (n == 0) {
+      if (!buffer->empty()) {
+        // The deframer already consumed every complete frame, so whatever
+        // is buffered is the head of an unfinished one: the peer died (or
+        // was killed) mid-frame and the rest of it will never arrive.
+        return DataLossError(
+            "connection closed mid-frame with %zu partial-frame bytes "
+            "buffered",
+            buffer->size());
+      }
+      return UnavailableError("connection closed by peer");
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+    return Status::Ok();
+  }
+}
+
+}  // namespace internal
+
 namespace {
 
 Status ErrnoStatus(const char* what) {
@@ -40,17 +87,10 @@ class SocketTransport final : public Transport {
   Status Send(std::string payload) override {
     std::string wire;
     NDV_RETURN_IF_ERROR(AppendFrame(&wire, payload));
-    size_t sent = 0;
-    while (sent < wire.size()) {
-      const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return ErrnoStatus("send");
-      }
-      sent += static_cast<size_t>(n);
-    }
-    return Status::Ok();
+    return internal::SendAllBytes(wire, [this](const char* data,
+                                               size_t size) {
+      return ::send(fd_, data, size, MSG_NOSIGNAL);
+    });
   }
 
   StatusOr<std::string> Receive(int64_t timeout_ms) override {
@@ -77,14 +117,10 @@ class SocketTransport final : public Transport {
         return DeadlineExceededError("no frame within %lld ms",
                                      static_cast<long long>(timeout_ms));
       }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return ErrnoStatus("recv");
-      }
-      if (n == 0) return UnavailableError("connection closed by peer");
-      buffer_.append(chunk, static_cast<size_t>(n));
+      NDV_RETURN_IF_ERROR(internal::ReadIntoBuffer(
+          &buffer_, [this](char* data, size_t size) {
+            return ::recv(fd_, data, size, 0);
+          }));
     }
   }
 

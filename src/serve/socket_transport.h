@@ -1,15 +1,42 @@
 #ifndef NDV_SERVE_SOCKET_TRANSPORT_H_
 #define NDV_SERVE_SOCKET_TRANSPORT_H_
 
+#include <sys/types.h>
+
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "serve/transport.h"
 
 namespace ndv {
+namespace internal {
+
+// Injected-I/O seams for the socket framing loops, so the partial-I/O
+// handling (EINTR retries, short writes, mid-frame disconnects) is unit
+// tested against scripted byte streams instead of a kernel socket. The
+// callables follow the POSIX contract: return bytes transferred, 0 for
+// EOF (reads) or a stalled stream (writes), or -1 with errno set.
+using WriteSomeFn = std::function<ssize_t(const char* data, size_t size)>;
+using ReadSomeFn = std::function<ssize_t(char* data, size_t size)>;
+
+// Writes all of `bytes`, retrying EINTR and continuing across short
+// writes. A persistent error (EPIPE, ECONNRESET, ...) or a write that
+// stops making progress is Unavailable, naming the progress made.
+Status SendAllBytes(std::string_view bytes, const WriteSomeFn& write_some);
+
+// Reads one chunk into *buffer, retrying EINTR. EOF is typed by where the
+// stream stood: with an empty buffer it is a clean close between frames
+// (Unavailable — the peer simply hung up); with buffered bytes the peer
+// vanished mid-frame (DataLoss naming the partial-frame bytes, because
+// the tail of the stream is unrecoverable on this connection).
+Status ReadIntoBuffer(std::string* buffer, const ReadSomeFn& read_some);
+
+}  // namespace internal
 
 // TCP transport for the stats service: protocol.h frames over a loopback
 // (or LAN) socket. POSIX-only, like the mmap storage layer.

@@ -47,13 +47,36 @@ StatsService::StatsService(std::shared_ptr<const Table> table,
     trackers_.emplace(table_->column_name(c), std::move(tracker));
   }
 
-  // First publication: the service is queryable at epoch 1 from the start.
-  ReanalyzeAndPublish();
+  if (options_.durable != nullptr && options_.durable->epoch() > 0) {
+    // Recovery boot: the durable catalog already holds the last
+    // acknowledged statistics — publish them at the recovered epoch and
+    // skip the table scan entirely. The recovered stats were fresh when
+    // journaled, so they reset the drift baseline like a publication.
+    catalog_.PublishAt(options_.durable->state(), options_.durable->epoch());
+    std::lock_guard<std::mutex> lock(tracker_mutex_);
+    for (auto& [name, tracker] : trackers_) tracker->MarkFresh();
+  } else {
+    // First publication: the service is queryable at epoch 1 from the
+    // start. A journal failure here means the store is unusable — refuse
+    // to come up rather than serve statistics recovery cannot reproduce.
+    const auto published = ReanalyzeAndPublish();
+    NDV_CHECK_MSG(published.ok(), "initial publication failed: %s",
+                  published.status().ToString().c_str());
+  }
 }
 
-uint64_t StatsService::ReanalyzeAndPublish() {
-  const uint64_t epoch =
-      catalog_.Publish(AnalyzeTable(*table_, options_.analyze));
+StatusOr<uint64_t> StatsService::ReanalyzeAndPublish() {
+  StatsCatalog fresh = AnalyzeTable(*table_, options_.analyze);
+  uint64_t epoch;
+  if (options_.durable != nullptr) {
+    // Write-ahead: journal first, publish second. A crash between the two
+    // replays the publication on the next boot; the reverse order could
+    // acknowledge an epoch that recovery cannot reproduce.
+    NDV_RETURN_IF_ERROR(options_.durable->AppendPublish(fresh));
+    epoch = catalog_.PublishAt(std::move(fresh), options_.durable->epoch());
+  } else {
+    epoch = catalog_.Publish(std::move(fresh));
+  }
   // The fresh publication resets every column's drift baseline.
   std::lock_guard<std::mutex> lock(tracker_mutex_);
   for (auto& [name, tracker] : trackers_) tracker->MarkFresh();
@@ -143,7 +166,13 @@ Message StatsService::HandleAnalyze(const Message& request) {
       return reply;
     }
   }
-  reply.epoch = ReanalyzeAndPublish();
+  const auto published = ReanalyzeAndPublish();
+  if (!published.ok()) {
+    Message error = ErrorMessage(published.status());
+    error.request_id = request.request_id;
+    return error;
+  }
+  reply.epoch = *published;
   reply.analyzed_columns = table_->NumColumns();
   reply.refreshed = true;
   return reply;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/concurrent_catalog.h"
+#include "catalog/durable_catalog.h"
 #include "catalog/incremental_stats.h"
 #include "distributed/clock.h"
 #include "distributed/retry.h"
@@ -50,6 +51,12 @@ struct StatsServiceOptions {
   // Admission bound: requests executing concurrently before load shedding.
   int max_inflight = 256;
   Clock* clock = nullptr;  // nullptr = SystemClock()
+  // Optional durability (not owned; must outlive the service). When set,
+  // every publication is journaled to the durable catalog's WAL BEFORE it
+  // becomes reader-visible, and a service constructed over a non-empty
+  // recovered catalog publishes the recovered state at the recovered epoch
+  // instead of re-scanning the table at boot.
+  DurableCatalog* durable = nullptr;
 };
 
 class StatsService {
@@ -92,8 +99,11 @@ class StatsService {
   // Staleness of one column under the published epoch; OK result pairs the
   // verdict with the rule that fired (for logs/tests).
   StatusOr<bool> ColumnIsStale(const ColumnStats& published);
-  // Runs AnalyzeTable and publishes the result; returns the new epoch.
-  uint64_t ReanalyzeAndPublish();
+  // Runs AnalyzeTable, journals the result (when durability is on), and
+  // publishes it; returns the new epoch. Fails only when the journal
+  // append fails — in which case nothing was published and no reader ever
+  // observes the unacknowledged statistics.
+  StatusOr<uint64_t> ReanalyzeAndPublish();
 
   const std::shared_ptr<const Table> table_;
   const StatsServiceOptions options_;

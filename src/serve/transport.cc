@@ -127,6 +127,12 @@ StatusOr<std::string> FaultyTransport::Receive(int64_t timeout_ms) {
       (*payload)[payload->size() / 2] =
           static_cast<char>((*payload)[payload->size() / 2] ^ 0x20);
     }
+    if (fault.truncate && !payload->empty()) {
+      // Deliver only the head of the payload — the in-process analogue of
+      // a peer dying mid-frame. The decoder sees a body that ends early
+      // and reports DataLoss, which the client treats as retryable.
+      payload->resize(payload->size() / 2);
+    }
     return payload;
   }
 }

@@ -70,6 +70,7 @@ struct TransportFault {
   int64_t delay_ms = 0;   // sleep on the injected clock before delivering
   bool corrupt = false;   // flip a byte in the payload
   bool drop = false;      // swallow the frame entirely
+  bool truncate = false;  // chop the payload's tail (partial delivery)
 };
 
 // Decorates a Transport with deterministic receive-side faults, keyed by

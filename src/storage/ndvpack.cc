@@ -2,11 +2,11 @@
 
 #include <bit>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <utility>
 
 #include "common/check.h"
+#include "common/file_io.h"
 #include "storage/mapped_column.h"
 
 namespace ndv {
@@ -208,15 +208,10 @@ std::string SerializePack(const Table& table) {
 }
 
 Status WritePackFile(const Table& table, const std::string& path) {
-  const std::string bytes = SerializePack(table);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return InvalidArgumentError("cannot open %s for writing", path.c_str());
-  }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) return InternalError("short write to %s", path.c_str());
-  return Status::Ok();
+  // Write-temp + fsync + rename (common/file_io.h): a reader — or a crash
+  // mid-write — never observes a half-written pack at `path`; it sees the
+  // old file or the new one, both with intact trailers.
+  return AtomicWriteFile(path, SerializePack(table));
 }
 
 // --------------------------------------------------------------------------

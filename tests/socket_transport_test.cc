@@ -1,0 +1,189 @@
+// Partial-I/O hardening tests for the socket framing loops, driven
+// through the internal scripted seams (serve/socket_transport.h): short
+// writes reassemble, EINTR is retried on both directions, persistent
+// errors surface as typed Status values, and an EOF is classified by
+// whether it tore a frame in half.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/socket_transport.h"
+
+namespace ndv {
+namespace {
+
+using internal::ReadIntoBuffer;
+using internal::SendAllBytes;
+
+// A scripted writer: each call accepts at most the next quota from
+// `script` (negative quota = return that errno once). Records everything
+// accepted so tests can assert the reassembled stream.
+class ScriptedWriter {
+ public:
+  explicit ScriptedWriter(std::vector<ssize_t> script)
+      : script_(std::move(script)) {}
+
+  ssize_t operator()(const char* data, size_t size) {
+    const ssize_t quota = next_ < script_.size()
+                              ? script_[next_++]
+                              : static_cast<ssize_t>(size);
+    if (quota < 0) {
+      errno = static_cast<int>(-quota);
+      return -1;
+    }
+    const size_t take =
+        std::min(size, static_cast<size_t>(quota));
+    accepted_.append(data, take);
+    return static_cast<ssize_t>(take);
+  }
+
+  const std::string& accepted() const { return accepted_; }
+
+ private:
+  std::vector<ssize_t> script_;
+  size_t next_ = 0;
+  std::string accepted_;
+};
+
+TEST(SendAllBytesTest, ShortWritesReassembleTheFullPayload) {
+  ScriptedWriter writer({1, 3, 2, 5});
+  const std::string payload = "frame-payload-bytes";
+  const Status sent = SendAllBytes(
+      payload, [&writer](const char* data, size_t size) {
+        return writer(data, size);
+      });
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  EXPECT_EQ(writer.accepted(), payload);
+}
+
+TEST(SendAllBytesTest, EintrIsRetriedUntilProgressResumes) {
+  ScriptedWriter writer({2, -EINTR, -EINTR, 4});
+  const std::string payload = "interrupted-send";
+  const Status sent = SendAllBytes(
+      payload, [&writer](const char* data, size_t size) {
+        return writer(data, size);
+      });
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  EXPECT_EQ(writer.accepted(), payload);
+}
+
+TEST(SendAllBytesTest, PeerResetMidWriteIsUnavailableNamingProgress) {
+  ScriptedWriter writer({4, -EPIPE});
+  const Status sent = SendAllBytes(
+      "0123456789", [&writer](const char* data, size_t size) {
+        return writer(data, size);
+      });
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), StatusCode::kUnavailable);
+  EXPECT_NE(sent.message().find("4 of 10"), std::string::npos)
+      << sent.ToString();
+}
+
+TEST(SendAllBytesTest, ZeroByteWriteIsAStalledStream) {
+  ScriptedWriter writer({3, 0});
+  const Status sent = SendAllBytes(
+      "stalled-stream", [&writer](const char* data, size_t size) {
+        return writer(data, size);
+      });
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), StatusCode::kUnavailable);
+}
+
+TEST(SendAllBytesTest, EmptyPayloadIsANoOp) {
+  ScriptedWriter writer({});
+  const Status sent = SendAllBytes(
+      "", [&writer](const char* data, size_t size) {
+        return writer(data, size);
+      });
+  EXPECT_TRUE(sent.ok()) << sent.ToString();
+  EXPECT_TRUE(writer.accepted().empty());
+}
+
+// A scripted reader: yields the next chunk of `stream` per call, capped
+// by the per-call quota (negative quota = errno once, 0 = EOF).
+class ScriptedReader {
+ public:
+  ScriptedReader(std::string stream, std::vector<ssize_t> script)
+      : stream_(std::move(stream)), script_(std::move(script)) {}
+
+  ssize_t operator()(char* data, size_t size) {
+    const ssize_t quota = next_ < script_.size()
+                              ? script_[next_++]
+                              : static_cast<ssize_t>(size);
+    if (quota < 0) {
+      errno = static_cast<int>(-quota);
+      return -1;
+    }
+    const size_t take = std::min(
+        {size, static_cast<size_t>(quota), stream_.size() - pos_});
+    std::memcpy(data, stream_.data() + pos_, take);
+    pos_ += take;
+    return static_cast<ssize_t>(take);
+  }
+
+ private:
+  std::string stream_;
+  std::vector<ssize_t> script_;
+  size_t next_ = 0;
+  size_t pos_ = 0;
+};
+
+TEST(ReadIntoBufferTest, ChunksAccumulateAcrossCallsAndEintr) {
+  ScriptedReader reader("abcdefgh", {3, -EINTR, 5});
+  std::string buffer;
+  ASSERT_TRUE(ReadIntoBuffer(&buffer, [&reader](char* data, size_t size) {
+                return reader(data, size);
+              }).ok());
+  EXPECT_EQ(buffer, "abc");
+  ASSERT_TRUE(ReadIntoBuffer(&buffer, [&reader](char* data, size_t size) {
+                return reader(data, size);
+              }).ok());
+  EXPECT_EQ(buffer, "abcdefgh");
+}
+
+TEST(ReadIntoBufferTest, CleanCloseBetweenFramesIsUnavailable) {
+  ScriptedReader reader("", {0});
+  std::string buffer;  // nothing buffered: peer hung up between frames
+  const Status read = ReadIntoBuffer(
+      &buffer, [&reader](char* data, size_t size) {
+        return reader(data, size);
+      });
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kUnavailable);
+  EXPECT_NE(read.message().find("closed by peer"), std::string::npos)
+      << read.ToString();
+}
+
+TEST(ReadIntoBufferTest, CloseMidFrameIsDataLossNamingBufferedBytes) {
+  ScriptedReader reader("", {0});
+  // A partial frame sits in the buffer (length prefix + half a payload);
+  // the constructor takes an explicit length because of the NUL bytes.
+  std::string buffer("\x09\x00\x00\x00half", 8);
+  const Status read = ReadIntoBuffer(
+      &buffer, [&reader](char* data, size_t size) {
+        return reader(data, size);
+      });
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kDataLoss);
+  EXPECT_NE(read.message().find("8 partial-frame bytes"), std::string::npos)
+      << read.ToString();
+}
+
+TEST(ReadIntoBufferTest, PersistentErrorIsUnavailable) {
+  ScriptedReader reader("data", {-ECONNRESET});
+  std::string buffer;
+  const Status read = ReadIntoBuffer(
+      &buffer, [&reader](char* data, size_t size) {
+        return reader(data, size);
+      });
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace ndv

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "catalog/durable_catalog.h"
 #include "common/random.h"
 #include "datagen/zipf.h"
 #include "distributed/clock.h"
@@ -348,6 +350,48 @@ TEST(FaultyTransportTest, CorruptFlipsOneByte) {
   EXPECT_NE(*got, "payload");
 }
 
+TEST(FaultyTransportTest, TruncateChopsThePayloadTail) {
+  InProcessConnection conn;
+  VirtualClock clock;
+  FaultyTransport faulty(conn.client(), clock);
+  TransportFault truncate;
+  truncate.truncate = true;
+  faulty.SetFault(0, truncate);
+
+  ASSERT_TRUE(conn.server().Send("payload").ok());
+  const auto got = faulty.Receive(1000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "pay");  // half of the 7 bytes survived delivery
+}
+
+TEST(StatsClientTest, TruncatedReplyIsRetriedToSuccess) {
+  const auto table = MakeTestTable(1000, 50);
+  StatsService service(table, FastOptions());
+
+  InProcessConnection conn;
+  VirtualClock clock;
+  FaultyTransport faulty(conn.client(), clock);
+  TransportFault truncate;
+  truncate.truncate = true;
+  faulty.SetFault(0, truncate);  // Chop the first reply mid-payload.
+
+  {
+    ServerFixture server(service, conn.server());
+    StatsClientOptions options;
+    options.retry.max_attempts = 3;
+    options.clock = &clock;
+    StatsClient client(faulty, options);
+
+    // The truncated reply decodes as DataLoss — a retryable attempt
+    // failure, not a client crash — and the second attempt succeeds.
+    const auto stats = client.GetStats("value");
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->stats.column_name, "value");
+
+    conn.Close();
+  }
+}
+
 TEST(StatsClientTest, DroppedReplyTimesOutAndTheRetrySucceeds) {
   const auto table = MakeTestTable(1000, 50);
   StatsService service(table, FastOptions());
@@ -464,6 +508,62 @@ TEST(StatsClientTest, DeadlineCutsRetriesShort) {
 
     conn.Close();
   }
+}
+
+// The durable serve boot path: a service built over a recovered
+// DurableCatalog resumes the journaled epoch sequence and serves the
+// journaled statistics without re-scanning the table.
+TEST(StatsServiceDurabilityTest, RecoveredBootSkipsRescanAndResumesEpoch) {
+  const auto table = MakeTestTable(2000, 100);
+  const std::string dir = testing::TempDir() + "/stats_service_durable";
+  std::system(("rm -rf " + dir).c_str());
+
+  ColumnStats journaled;
+  {
+    auto durable = DurableCatalog::Open({.dir = dir});
+    ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+    auto options = FastOptions();
+    options.durable = durable->get();
+    StatsService service(table, options);
+    // The boot publication was journaled as epoch 1.
+    EXPECT_EQ(service.epoch(), 1u);
+    EXPECT_EQ((*durable)->epoch(), 1u);
+
+    // A forced re-ANALYZE journals a second publication.
+    Message analyze;
+    analyze.type = MessageType::kAnalyze;
+    analyze.force = true;
+    const Message reply = service.Submit(analyze);
+    ASSERT_EQ(reply.type, MessageType::kAnalyzeReply);
+    EXPECT_EQ(reply.epoch, 2u);
+    EXPECT_EQ((*durable)->epoch(), 2u);
+    const auto stats = (*durable)->state().Find("value");
+    ASSERT_TRUE(stats.has_value());
+    journaled = *stats;
+  }
+
+  // Second boot: recovery replays the journal; the service publishes the
+  // recovered state at the recovered epoch instead of re-analyzing.
+  auto durable = DurableCatalog::Open({.dir = dir});
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+  EXPECT_EQ((*durable)->epoch(), 2u);
+  auto options = FastOptions();
+  options.analyze.seed = 999;  // A rescan would sample differently.
+  options.durable = durable->get();
+  StatsService service(table, options);
+  EXPECT_EQ(service.epoch(), 2u);  // resumed, not restarted at 1
+
+  Message get;
+  get.type = MessageType::kGetStats;
+  get.column = "value";
+  const Message served = service.Submit(get);
+  ASSERT_EQ(served.type, MessageType::kStatsReply);
+  EXPECT_EQ(served.epoch, 2u);
+  EXPECT_FALSE(served.stale);  // recovery marks the trackers fresh
+  // Bit-identical to what the journal acknowledged before the "crash".
+  EXPECT_EQ(served.stats.estimate, journaled.estimate);
+  EXPECT_EQ(served.stats.sample_rows, journaled.sample_rows);
+  EXPECT_EQ(served.stats.method, journaled.method);
 }
 
 }  // namespace

@@ -28,6 +28,8 @@
 //   ndv_cli lowerbound --n=1000000 --r=10000 --gamma=0.5
 //   ndv_cli serve --in=data.ndvpack --port=7979
 //   ndv_cli serve --in=data.csv --selftest   # in-process smoke, then exit
+//   ndv_cli serve --in=data.csv --wal-dir=/var/ndv/catalog --selftest
+//     # durable: journal publications, recover the catalog on restart
 //   ndv_cli query --port=7979 --op=list
 //   ndv_cli query --port=7979 --op=get --column=value
 //   ndv_cli query --port=7979 --op=analyze --force
@@ -45,6 +47,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/durable_catalog.h"
 #include "catalog/stats_catalog.h"
 #include "core/all_estimators.h"
 #include "distributed/distributed_analyze.h"
@@ -307,6 +310,19 @@ int CmdDistributed(const Flags& flags) {
   options.threads = static_cast<int>(GetInt(flags, "threads", 0));
   options.max_attempts = static_cast<int>(GetInt(flags, "max-attempts", 3));
 
+  // --wal-dir persists the finished result (degraded coverage included)
+  // through the durable catalog's WAL before the coordinator reports it.
+  std::unique_ptr<ndv::DurableCatalog> durable;
+  const std::string wal_dir = GetFlag(flags, "wal-dir", "");
+  if (!wal_dir.empty()) {
+    ndv::DurableCatalogOptions durable_options;
+    durable_options.dir = wal_dir;
+    auto opened = ndv::DurableCatalog::Open(std::move(durable_options));
+    if (!opened.ok()) Fail(opened.status().ToString());
+    durable = std::move(*opened);
+    options.durable = durable.get();
+  }
+
   // --fail=0,3 permanently fails those partitions: a live demonstration of
   // graceful degradation. Injected faults run on a virtual clock so the
   // retry backoff costs no wall-clock time.
@@ -345,6 +361,10 @@ int CmdDistributed(const Flags& flags) {
               stats.degraded ? "DEGRADED" : "complete");
   std::printf("%s estimate = %.0f, interval [%.0f, %.0f]\n",
               stats.method.c_str(), stats.estimate, stats.lower, stats.upper);
+  if (durable != nullptr) {
+    std::printf("result journaled to %s (epoch %llu)\n", wal_dir.c_str(),
+                static_cast<unsigned long long>(durable->epoch()));
+  }
   return 0;
 }
 
@@ -447,6 +467,42 @@ int CmdServe(const Flags& flags) {
       GetDouble(flags, "stale-fraction", 0.2);
   options.max_inflight =
       static_cast<int>(GetInt(flags, "max-inflight", 256));
+
+  // --wal-dir turns on durability: the service opens (and recovers) a
+  // durable catalog there, journals every publication, and on restart
+  // boots from the journal instead of re-scanning the table.
+  std::unique_ptr<ndv::DurableCatalog> durable;
+  const std::string wal_dir = GetFlag(flags, "wal-dir", "");
+  if (!wal_dir.empty()) {
+    ndv::DurableCatalogOptions durable_options;
+    durable_options.dir = wal_dir;
+    const std::string fsync = GetFlag(flags, "fsync", "every");
+    if (fsync == "every") {
+      durable_options.fsync = ndv::FsyncPolicy::kEveryRecord;
+    } else if (fsync == "none") {
+      durable_options.fsync = ndv::FsyncPolicy::kNone;
+    } else {
+      Fail("--fsync must be 'every' or 'none', got '" + fsync + "'");
+    }
+    durable_options.snapshot_every_records =
+        GetInt(flags, "snapshot-every", 1024);
+    auto opened = ndv::DurableCatalog::Open(std::move(durable_options));
+    if (!opened.ok()) Fail(opened.status().ToString());
+    durable = std::move(*opened);
+    const ndv::RecoveryInfo& recovery = durable->recovery();
+    std::printf(
+        "durable catalog %s: recovered epoch %llu in %.3f ms (%lld snapshot "
+        "entries%s, %lld WAL records replayed, %lld skipped, %lld torn "
+        "bytes truncated)\n",
+        wal_dir.c_str(), static_cast<unsigned long long>(recovery.epoch),
+        recovery.boot_millis,
+        static_cast<long long>(recovery.snapshot_entries),
+        recovery.used_fallback_snapshot ? " via fallback snapshot" : "",
+        static_cast<long long>(recovery.replayed_records),
+        static_cast<long long>(recovery.skipped_records),
+        static_cast<long long>(recovery.truncated_bytes));
+    options.durable = durable.get();
+  }
   ndv::StatsService service(std::move(table), options);
 
   const bool selftest = GetFlag(flags, "selftest", "false") == "true";
