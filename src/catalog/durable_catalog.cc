@@ -1,6 +1,7 @@
 #include "catalog/durable_catalog.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -298,6 +299,8 @@ Status DurableCatalog::ReplayWal(const std::string& path, bool repair) {
     valid_end = kWalMagic.size();
   }
   size_t pos = valid_end;
+  uint64_t gap_epoch = 0;
+  bool epoch_gap = false;
   while (valid_end > 0 && pos + kRecordHeaderBytes <= bytes.size()) {
     uint32_t length = 0;
     uint64_t stored = 0;
@@ -352,10 +355,29 @@ Status DurableCatalog::ReplayWal(const std::string& path, bool repair) {
       epoch_ = record_epoch;
       ++recovery_.replayed_records;
     } else {
-      break;  // Epoch gap: a record went missing; trust nothing after it.
+      // Epoch gap: the record is fully valid (framing, checksum, body all
+      // pass) but its predecessor — an earlier record or the snapshot that
+      // covered it — is missing. Trust nothing after it.
+      epoch_gap = true;
+      gap_epoch = record_epoch;
+      break;
     }
     pos += kRecordHeaderBytes + length;
     valid_end = pos;
+  }
+
+  if (epoch_gap) {
+    // Unlike a torn or corrupt tail, a gap with valid framing means a whole
+    // snapshot/log generation is gone (e.g. both snapshots unreadable).
+    // Truncating here would permanently destroy intact records an operator
+    // could still recover (say, by restoring a snapshot from backup), so
+    // refuse to open instead of silently repairing.
+    return DataLossError(
+        "WAL %s holds a valid record at epoch %llu but recovered state is "
+        "at epoch %llu: a snapshot/log generation is missing; refusing to "
+        "repair — restore snapshots from backup or clear the directory",
+        path.c_str(), static_cast<unsigned long long>(gap_epoch),
+        static_cast<unsigned long long>(epoch_));
   }
 
   const int64_t discarded = static_cast<int64_t>(bytes.size() - valid_end);
@@ -409,7 +431,11 @@ Status DurableCatalog::OpenWalForAppend() {
 }
 
 Status DurableCatalog::AppendRecord(std::string payload) {
-  NDV_CHECK_GE(wal_fd_, 0);
+  if (wal_fd_ < 0) {
+    return InternalError("WAL is not open (an earlier append or rotation "
+                         "failure closed it); a successful Compact() "
+                         "rebuilds the log");
+  }
   if (payload.size() > kMaxWalRecord) {
     return InvalidArgumentError("WAL record of %zu bytes exceeds the %zu "
                                 "byte cap",
@@ -421,23 +447,49 @@ Status DurableCatalog::AppendRecord(std::string payload) {
   PutU64(&frame, Checksum64(payload));
   frame += payload;
 
+  // Pre-append boundary, so a failed append can be rolled back. A torn
+  // record must never stay in front of a later append that returns OK:
+  // exact-prefix replay stops at the torn record and would silently
+  // discard the acknowledged one behind it.
+  struct stat st;
+  if (::fstat(wal_fd_, &st) < 0) {
+    return InternalError("fstat wal failed: %s", std::strerror(errno));
+  }
+  const off_t append_start = st.st_size;
+
   NDV_CRASH_POINT("wal.append.start");
   // Two physical writes on purpose: a crash between them leaves a torn
   // record on disk, which is exactly the case replay's checksum must
   // catch. (A crash inside either write can tear anywhere too; the split
   // just guarantees the chaos schedule exercises a mid-record kill.)
   const size_t half = frame.size() / 2;
-  NDV_RETURN_IF_ERROR(
-      WriteAllFd(wal_fd_, std::string_view(frame).substr(0, half),
-                 "wal record (first half)"));
-  NDV_CRASH_POINT("wal.append.torn");
-  NDV_RETURN_IF_ERROR(
-      WriteAllFd(wal_fd_, std::string_view(frame).substr(half),
-                 "wal record (second half)"));
-  NDV_CRASH_POINT("wal.append.written");
-  if (options_.fsync == FsyncPolicy::kEveryRecord) {
-    NDV_RETURN_IF_ERROR(FsyncFd(wal_fd_, "wal"));
-    NDV_CRASH_POINT("wal.append.synced");
+  Status status = WriteAllFd(
+      wal_fd_, std::string_view(frame).substr(0, half),
+      "wal record (first half)");
+  if (status.ok()) {
+    NDV_CRASH_POINT("wal.append.torn");
+    status = WriteAllFd(wal_fd_, std::string_view(frame).substr(half),
+                        "wal record (second half)");
+  }
+  if (status.ok()) {
+    NDV_CRASH_POINT("wal.append.written");
+    if (options_.fsync == FsyncPolicy::kEveryRecord) {
+      status = FsyncFd(wal_fd_, "wal");
+      if (status.ok()) NDV_CRASH_POINT("wal.append.synced");
+    }
+  }
+  if (!status.ok()) {
+    // Roll the log back to the pre-append boundary (a partial write, or a
+    // record whose durability is indeterminate after a failed fsync). If
+    // the rollback itself cannot be made durable, poison the fd: every
+    // later append fails with a Status until Compact() rebuilds the log
+    // from the in-memory state.
+    if (::ftruncate(wal_fd_, append_start) != 0 ||
+        !FsyncFd(wal_fd_, "wal rollback").ok()) {
+      ::close(wal_fd_);
+      wal_fd_ = -1;
+    }
+    return status;
   }
   return Status::Ok();
 }
@@ -524,13 +576,29 @@ Status DurableCatalog::CompactLocked() {
   // this phase leaves some mix of {wal.log, wal.prev.log, wal.new} whose
   // records are all <= the snapshot epoch, so replay order and epoch
   // filtering reconstruct the same state regardless of where we died.
-  const std::string wal = PathTo(kWalFile);
-  const std::string wal_prev = PathTo(kWalPrevFile);
-  const std::string wal_new = wal + ".new";
   if (wal_fd_ >= 0) {
     ::close(wal_fd_);
     wal_fd_ = -1;
   }
+  const Status rotated = RotateWalLocked();
+  if (!rotated.ok()) {
+    // The append fd is already closed, but every on-disk state a failed
+    // rotation can leave behind replays consistently (all its records are
+    // at or below the snapshot epoch). Reopen so a transient disk error
+    // here stays a recoverable Status instead of wedging every later
+    // append; if the reopen fails too, Append*/Sync report the closed WAL.
+    const Status reopened = OpenWalForAppend();
+    (void)reopened;
+    return rotated;
+  }
+  records_since_snapshot_ = 0;
+  return OpenWalForAppend();
+}
+
+Status DurableCatalog::RotateWalLocked() {
+  const std::string wal = PathTo(kWalFile);
+  const std::string wal_prev = PathTo(kWalPrevFile);
+  const std::string wal_new = wal + ".new";
   {
     const int fd = ::open(wal_new.c_str(),
                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
@@ -550,14 +618,16 @@ Status DurableCatalog::CompactLocked() {
   NDV_CRASH_POINT("wal.rotate.renamed");
   NDV_RETURN_IF_ERROR(FsyncDirOf(wal));
   NDV_CRASH_POINT("wal.rotate.dir_synced");
-
-  records_since_snapshot_ = 0;
-  return OpenWalForAppend();
+  return Status::Ok();
 }
 
 Status DurableCatalog::Sync() {
   std::lock_guard<std::mutex> lock(mutex_);
-  NDV_CHECK_GE(wal_fd_, 0);
+  if (wal_fd_ < 0) {
+    return InternalError("WAL is not open (an earlier append or rotation "
+                         "failure closed it); a successful Compact() "
+                         "rebuilds the log");
+  }
   return FsyncFd(wal_fd_, "wal");
 }
 

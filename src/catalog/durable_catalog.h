@@ -50,13 +50,20 @@ namespace ndv {
 // recovered snapshot epoch are skipped, which is what makes the
 // compaction protocol (snapshot first, rotate the log second) safe to
 // interrupt anywhere: replaying the old log onto the new snapshot is a
-// filtered no-op.
+// filtered no-op. One break is NOT repaired: a record with valid framing
+// whose epoch skips ahead of the recovered state means a whole
+// snapshot/log generation is missing, and Open() fails with kDataLoss
+// rather than truncating intact records (see Open()).
 //
 // Acknowledgment contract: with FsyncPolicy::kEveryRecord an Append*
 // call that returns OK has fsynced the record — the caller may
 // acknowledge it to a client, and recovery WILL reproduce it. With
 // kNone, durability is best-effort until Sync()/Compact() (the knob for
-// bulk loads where the tail is re-derivable).
+// bulk loads where the tail is re-derivable). An Append* that returns an
+// error leaves no trace: the partial (or durability-indeterminate)
+// record is rolled back off the log, and if even the rollback fails the
+// log is closed — later appends fail with a Status (never an abort)
+// until a successful Compact() rebuilds it from the in-memory state.
 enum class FsyncPolicy {
   kEveryRecord,  // fsync the WAL before acknowledging each append
   kNone,         // leave flushing to the kernel; Sync()/Compact() to force
@@ -86,8 +93,13 @@ class DurableCatalog {
  public:
   // Opens (creating if needed) the durable catalog in options.dir and
   // recovers: snapshot load (with fallback), WAL replay, tail repair.
-  // Fails only on environmental errors (unwritable directory, I/O
-  // errors) — torn and corrupt data is recovered around, never fatal.
+  // Fails on environmental errors (unwritable directory, I/O errors) —
+  // torn and corrupt data is recovered around, never fatal — and on one
+  // data condition: a WAL record with valid framing whose epoch skips
+  // ahead of the recovered state (a whole snapshot/log generation is
+  // missing, e.g. both snapshots destroyed). That is kDataLoss, not a
+  // repair: truncating intact records would destroy data an operator
+  // could still restore from backup.
   static StatusOr<std::unique_ptr<DurableCatalog>> Open(
       DurableCatalogOptions options);
 
@@ -95,10 +107,20 @@ class DurableCatalog {
   DurableCatalog& operator=(const DurableCatalog&) = delete;
   ~DurableCatalog();
 
-  // The recovered / current state. `state()` is the in-memory mirror the
+  // The recovered / current state: `state()` is the in-memory mirror the
   // WAL and snapshots agree on; epoch() counts every applied record.
-  const StatsCatalog& state() const { return state_; }
-  uint64_t epoch() const { return epoch_; }
+  // Append*/Compact mutate both under mutex_, so these take it too —
+  // state() returns a copy (a reference would race with a concurrent
+  // Publish replacing the catalog wholesale). recovery() is written once
+  // inside Open(), before the object is shared, and is immutable after.
+  StatsCatalog state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+  }
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return epoch_;
+  }
   const RecoveryInfo& recovery() const { return recovery_; }
 
   // Journals one column upsert (StatsCatalog::Put semantics) and applies
@@ -116,7 +138,10 @@ class DurableCatalog {
   Status Sync();
 
   // Records appended since the last compaction (auto-compaction gauge).
-  int64_t records_since_snapshot() const { return records_since_snapshot_; }
+  int64_t records_since_snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_since_snapshot_;
+  }
 
   // File names inside a durable directory (shared with tools and tests).
   static constexpr std::string_view kSnapshotFile = "snapshot.ndv";
@@ -135,6 +160,7 @@ class DurableCatalog {
   Status AppendRecord(std::string payload);
   Status OpenWalForAppend();
   Status CompactLocked();  // Compact() body; mutex_ already held.
+  Status RotateWalLocked();  // WAL rotation steps of CompactLocked.
 
   const DurableCatalogOptions options_;
   mutable std::mutex mutex_;
