@@ -17,6 +17,7 @@
 
 #include "common/flat_hash.h"
 #include "common/random.h"
+#include "common/simd_hash.h"
 #include "profile/frequency_profile.h"
 #include "table/column.h"
 #include "table/table.h"
@@ -100,6 +101,67 @@ void BM_HashSliceBatch(benchmark::State& state) {
   state.SetLabel(KindName(state.range(0)));
 }
 BENCHMARK(BM_HashSliceBatch)->Arg(kUniform);
+
+// --------------------------------------------------------------------------
+// SIMD hash kernels: the scalar reference vs whatever the dispatcher
+// resolved for this host (NDV_SIMD overrides; the CI bench smoke runs both
+// NDV_SIMD=scalar and native, so the two rows bracket the vector speedup).
+// Arg 0 = forced scalar, arg 1 = the active dispatch level.
+
+ndv::SimdLevel LevelArg(int64_t arg) {
+  return arg == 0 ? ndv::SimdLevel::kScalar : ndv::ActiveSimdLevel();
+}
+
+void BM_HashInt64Kernel(benchmark::State& state) {
+  const ndv::SimdLevel level = LevelArg(state.range(0));
+  ndv::Rng rng(31);
+  std::vector<int64_t> values(kRows);
+  for (auto& v : values) v = static_cast<int64_t>(rng.NextU64());
+  std::vector<uint64_t> out(kRows);
+  for (auto _ : state) {
+    ndv::HashInt64SpanAt(level, values.data(), values.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(ndv::SimdLevelName(level));
+}
+BENCHMARK(BM_HashInt64Kernel)->Arg(0)->Arg(1);
+
+void BM_HashDoubleKernel(benchmark::State& state) {
+  const ndv::SimdLevel level = LevelArg(state.range(0));
+  ndv::Rng rng(37);
+  std::vector<double> values(kRows);
+  for (auto& v : values) {
+    v = static_cast<double>(rng.NextBounded(1 << 30)) / 64.0;
+  }
+  std::vector<uint64_t> out(kRows);
+  for (auto _ : state) {
+    ndv::HashDoubleSpanAt(level, values.data(), values.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(ndv::SimdLevelName(level));
+}
+BENCHMARK(BM_HashDoubleKernel)->Arg(0)->Arg(1);
+
+void BM_HashCodesKernel(benchmark::State& state) {
+  const ndv::SimdLevel level = LevelArg(state.range(0));
+  ndv::Rng rng(41);
+  constexpr size_t kDict = 5000;
+  std::vector<uint64_t> lut(kDict);
+  for (size_t i = 0; i < kDict; ++i) lut[i] = ndv::Hash64(i);
+  std::vector<int32_t> codes(kRows);
+  for (auto& c : codes) c = static_cast<int32_t>(rng.NextBounded(kDict));
+  std::vector<uint64_t> out(kRows);
+  for (auto _ : state) {
+    ndv::HashLookupCodes32At(level, codes.data(), lut.data(), codes.size(),
+                             out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetLabel(ndv::SimdLevelName(level));
+}
+BENCHMARK(BM_HashCodesKernel)->Arg(0)->Arg(1);
 
 // --------------------------------------------------------------------------
 // Distinct counting: unordered_set (the old ExactDistinctHashSet) vs

@@ -1,0 +1,86 @@
+#ifndef NDV_COMMON_SIMD_HASH_H_
+#define NDV_COMMON_SIMD_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ndv {
+
+// Runtime-dispatched batch hash kernels — the vector lanes under the
+// Column::HashSlice / HashRange virtuals (DESIGN.md §15).
+//
+// Every kernel is bit-identical to the scalar reference at every input:
+// the AVX2 path computes the exact Hash64 mix (the 64x64 multiply is
+// synthesized from 32-bit multiplies, which is exact for the low 64 bits),
+// and double canonicalization (-0.0 -> +0.0, every NaN payload -> one
+// canonical quiet NaN) happens on the same bit patterns the scalar
+// HashDoubleValue canonicalizes. Estimates therefore do not depend on the
+// host CPU — the determinism contract that lets baselines, tests, and
+// distributed replicas compare results byte-for-byte across machines.
+//
+// Dispatch: resolved once per process. The NDV_SIMD environment variable
+// overrides detection ("scalar", "avx2", "neon", "native"/unset = detect);
+// requesting a level the CPU lacks falls back to scalar with a warning on
+// stderr. Tests and benches can bypass dispatch with the explicit-level
+// entry points to compare levels inside one process.
+
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,  // x86-64 AVX2: 4 lanes of 64-bit mixing
+  kNeon = 2,  // aarch64 NEON: vector canonicalization, scalar mixing
+};
+
+// Human-readable level name ("scalar", "avx2", "neon").
+const char* SimdLevelName(SimdLevel level);
+
+// True when this binary can execute `level` on this CPU.
+bool SimdLevelAvailable(SimdLevel level);
+
+// The level all dispatching kernels use. Resolved once: NDV_SIMD override
+// if set and available, else the widest available level.
+SimdLevel ActiveSimdLevel();
+
+// Parses an NDV_SIMD-style string. Returns false for unknown values.
+// "native" (or empty) selects the widest available level.
+bool ParseSimdLevel(std::string_view text, SimdLevel* out);
+
+// --- Dispatching kernels (use ActiveSimdLevel()). -------------------------
+
+// out[i] = Hash64(uint64(values[i])).
+void HashInt64Span(const int64_t* values, size_t count, uint64_t* out);
+
+// out[i] = HashDoubleValue(values[i]).
+void HashDoubleSpan(const double* values, size_t count, uint64_t* out);
+
+// Gather: out[i] = Hash64(uint64(base[rows[i]])). Rows must be in bounds
+// for the caller's array; the kernel does not range-check.
+void HashInt64Gather(const int64_t* base, const int64_t* rows, size_t count,
+                     uint64_t* out);
+
+// Gather: out[i] = HashDoubleValue(base[rows[i]]).
+void HashDoubleGather(const double* base, const int64_t* rows, size_t count,
+                      uint64_t* out);
+
+// Dictionary-code path: out[i] = lut[codes[i]]. Codes must be in bounds
+// (the pack deserializer validates them before any hashing).
+void HashLookupCodes32(const int32_t* codes, const uint64_t* lut,
+                       size_t count, uint64_t* out);
+
+// --- Explicit-level kernels (tests / benches). ----------------------------
+// Requires SimdLevelAvailable(level); an unavailable level aborts.
+
+void HashInt64SpanAt(SimdLevel level, const int64_t* values, size_t count,
+                     uint64_t* out);
+void HashDoubleSpanAt(SimdLevel level, const double* values, size_t count,
+                      uint64_t* out);
+void HashInt64GatherAt(SimdLevel level, const int64_t* base,
+                       const int64_t* rows, size_t count, uint64_t* out);
+void HashDoubleGatherAt(SimdLevel level, const double* base,
+                        const int64_t* rows, size_t count, uint64_t* out);
+void HashLookupCodes32At(SimdLevel level, const int32_t* codes,
+                         const uint64_t* lut, size_t count, uint64_t* out);
+
+}  // namespace ndv
+
+#endif  // NDV_COMMON_SIMD_HASH_H_

@@ -1,0 +1,43 @@
+#ifndef NDV_COMMON_VALUE_HASH_H_
+#define NDV_COMMON_VALUE_HASH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace ndv {
+
+// The library's value-hash primitives. Every path that hashes a column
+// value — heap columns, mmap columns, blocked v2 columns, the scalar and
+// SIMD batch kernels — goes through these two functions, so equal values
+// hash equally everywhere and estimates are storage- and ISA-independent.
+// They live in common/ (not table/) because both the column hierarchy and
+// the SIMD kernel layer underneath it need them.
+
+// FNV-1a 64-bit hash of a byte string, finalized with Hash64 mixing.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return Hash64(h);
+}
+
+// Hash of one double under the library's equality classes: -0.0
+// canonicalized to +0.0, every NaN payload collapsed into one class.
+inline uint64_t HashDoubleValue(double v) {
+  if (v == 0.0) v = 0.0;  // Canonicalize -0.0.
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Hash64(bits);
+}
+
+}  // namespace ndv
+
+#endif  // NDV_COMMON_VALUE_HASH_H_

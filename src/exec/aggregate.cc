@@ -8,6 +8,7 @@ namespace ndv {
 
 AggregateStats HashAggregateCount(const Column& column,
                                   std::vector<GroupCount>* result) {
+  column.PrepareFullScan();
   constexpr int64_t kBlock = 4096;
   uint64_t block[kBlock];
   FlatHashCounter groups;

@@ -22,6 +22,12 @@ ReservoirSamplerL BlockSampleColumn(const Column& column, int64_t begin,
   // (begin need not be block-aligned), every interior read is one whole
   // aligned block.
   int64_t fill_remaining = std::min(capacity, end - begin);
+  // The fill prefix is the one densely-read range of a sampled scan:
+  // request readahead for exactly those rows (MADV_WILLNEED underneath for
+  // file-backed columns). The steady state below touches isolated rows and
+  // gets no advice — demand paging only faults the blocks Algorithm L
+  // actually lands on.
+  column.PrefetchRows(begin, begin + fill_remaining);
   constexpr int64_t kMaxBatch = 65536;  // caps the hash buffer, not the read
   std::vector<uint64_t> hashes(
       static_cast<size_t>(std::min({block_rows, fill_remaining, kMaxBatch})));

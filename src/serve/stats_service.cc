@@ -37,6 +37,7 @@ StatsService::StatsService(std::shared_ptr<const Table> table,
     auto tracker = std::make_unique<IncrementalColumnTracker>(
         options_.tracker_reservoir,
         options_.analyze.seed + static_cast<uint64_t>(c) + 1);
+    column.PrepareFullScan();
     for (int64_t begin = 0; begin < column.size();
          begin += kWarmupChunkRows) {
       const int64_t end = std::min(begin + kWarmupChunkRows, column.size());

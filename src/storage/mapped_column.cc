@@ -1,45 +1,68 @@
 #include "storage/mapped_column.h"
 
+#include "common/simd_hash.h"
+#include "storage/mapped_file.h"
+
 namespace ndv {
 
-// The batch loops mirror the heap columns in table/column.cc line for line;
-// both funnel through the same per-value hash functions, which is what
-// keeps packed and parsed estimates bit-identical.
+// The batch loops route through the same runtime-dispatched kernels as the
+// heap columns in table/column.cc; both funnel through the same per-value
+// hash functions, which is what keeps packed and parsed estimates
+// bit-identical (and identical across SIMD levels).
+//
+// The advice overrides translate the Column scan hints into madvise on the
+// aliased payload ranges: a full scan walks the value array once front to
+// back (SEQUENTIAL), a sampled scan touches one bounded row range
+// (WILLNEED on exactly those bytes).
 
 void MappedInt64Column::HashRange(std::span<const int64_t> rows,
                                   uint64_t* out) const {
-  const int64_t* values = values_.data();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
-    out[i] = Hash64(static_cast<uint64_t>(values[rows[i]]));
-  }
+#if NDV_DCHECK_ENABLED
+  for (const int64_t row : rows) NDV_DCHECK(0 <= row && row < size());
+#endif
+  HashInt64Gather(values_.data(), rows.data(), rows.size(), out);
 }
 
 void MappedInt64Column::HashSlice(int64_t begin, int64_t end,
                                   uint64_t* out) const {
   NDV_DCHECK(0 <= begin && begin <= end && end <= size());
-  const int64_t* values = values_.data() + begin;
-  const int64_t count = end - begin;
-  for (int64_t i = 0; i < count; ++i) {
-    out[i] = Hash64(static_cast<uint64_t>(values[i]));
-  }
+  HashInt64Span(values_.data() + begin, static_cast<size_t>(end - begin),
+                out);
+}
+
+void MappedInt64Column::PrepareFullScan() const {
+  AdviseSequentialRange(values_.data(), values_.size_bytes());
+}
+
+void MappedInt64Column::PrefetchRows(int64_t begin, int64_t end) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  AdviseWillNeedRange(values_.data() + begin,
+                      static_cast<size_t>(end - begin) * sizeof(int64_t));
 }
 
 void MappedDoubleColumn::HashRange(std::span<const int64_t> rows,
                                    uint64_t* out) const {
-  const double* values = values_.data();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
-    out[i] = HashDoubleValue(values[rows[i]]);
-  }
+#if NDV_DCHECK_ENABLED
+  for (const int64_t row : rows) NDV_DCHECK(0 <= row && row < size());
+#endif
+  HashDoubleGather(values_.data(), rows.data(), rows.size(), out);
 }
 
 void MappedDoubleColumn::HashSlice(int64_t begin, int64_t end,
                                    uint64_t* out) const {
   NDV_DCHECK(0 <= begin && begin <= end && end <= size());
-  const double* values = values_.data() + begin;
-  const int64_t count = end - begin;
-  for (int64_t i = 0; i < count; ++i) out[i] = HashDoubleValue(values[i]);
+  HashDoubleSpan(values_.data() + begin, static_cast<size_t>(end - begin),
+                 out);
+}
+
+void MappedDoubleColumn::PrepareFullScan() const {
+  AdviseSequentialRange(values_.data(), values_.size_bytes());
+}
+
+void MappedDoubleColumn::PrefetchRows(int64_t begin, int64_t end) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  AdviseWillNeedRange(values_.data() + begin,
+                      static_cast<size_t>(end - begin) * sizeof(double));
 }
 
 MappedStringColumn::MappedStringColumn(std::span<const int32_t> codes,
@@ -73,12 +96,20 @@ void MappedStringColumn::HashRange(std::span<const int64_t> rows,
 void MappedStringColumn::HashSlice(int64_t begin, int64_t end,
                                    uint64_t* out) const {
   NDV_DCHECK(0 <= begin && begin <= end && end <= size());
-  const int32_t* codes = codes_.data() + begin;
-  const uint64_t* hashes = hashes_.data();
-  const int64_t count = end - begin;
-  for (int64_t i = 0; i < count; ++i) {
-    out[i] = hashes[static_cast<size_t>(codes[i])];
-  }
+  HashLookupCodes32(codes_.data() + begin, hashes_.data(),
+                    static_cast<size_t>(end - begin), out);
+}
+
+void MappedStringColumn::PrepareFullScan() const {
+  // Only the code array streams; the dictionary was already touched whole
+  // when the hash cache was built at open.
+  AdviseSequentialRange(codes_.data(), codes_.size_bytes());
+}
+
+void MappedStringColumn::PrefetchRows(int64_t begin, int64_t end) const {
+  NDV_DCHECK(0 <= begin && begin <= end && end <= size());
+  AdviseWillNeedRange(codes_.data() + begin,
+                      static_cast<size_t>(end - begin) * sizeof(int32_t));
 }
 
 }  // namespace ndv

@@ -39,6 +39,8 @@ class MappedInt64Column final : public Column {
   }
   void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
   void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
+  void PrepareFullScan() const override;
+  void PrefetchRows(int64_t begin, int64_t end) const override;
   std::string ValueToString(int64_t row) const override {
     return std::to_string(values_[static_cast<size_t>(row)]);
   }
@@ -68,6 +70,8 @@ class MappedDoubleColumn final : public Column {
   }
   void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
   void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
+  void PrepareFullScan() const override;
+  void PrefetchRows(int64_t begin, int64_t end) const override;
   std::string ValueToString(int64_t row) const override {
     return std::to_string(values_[static_cast<size_t>(row)]);
   }
@@ -100,6 +104,8 @@ class MappedStringColumn final : public Column {
   }
   void HashRange(std::span<const int64_t> rows, uint64_t* out) const override;
   void HashSlice(int64_t begin, int64_t end, uint64_t* out) const override;
+  void PrepareFullScan() const override;
+  void PrefetchRows(int64_t begin, int64_t end) const override;
   std::string ValueToString(int64_t row) const override {
     return std::string(DictionaryEntry(
         codes_[static_cast<size_t>(row)]));

@@ -40,6 +40,11 @@ class MappedFile {
   // affects correctness. No-op for empty mappings or out-of-range spans.
   void Prefetch(size_t offset, size_t length) const;
 
+  // Hints that [offset, offset + length) is about to be read once, front
+  // to back (madvise SEQUENTIAL: aggressive readahead, early reclaim).
+  // Same best-effort contract as Prefetch.
+  void AdviseSequential(size_t offset, size_t length) const;
+
  private:
   MappedFile(std::string path, void* data, size_t size)
       : path_(std::move(path)), data_(data), size_(size) {}
@@ -48,6 +53,13 @@ class MappedFile {
   void* data_ = nullptr;  // nullptr iff size_ == 0
   size_t size_ = 0;
 };
+
+// Free-standing best-effort madvise hints over an arbitrary readable range
+// (page-aligned internally, errors ignored). Valid on any mapped — or even
+// heap — memory, so column implementations can advise through the raw
+// pointers they hold without a handle on the MappedFile.
+void AdviseSequentialRange(const void* data, size_t length);
+void AdviseWillNeedRange(const void* data, size_t length);
 
 // Reads the whole file at `path` into one string in a single pass (stat for
 // the size, then read straight into the destination buffer — no

@@ -4,10 +4,14 @@
 #include <cstring>
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/file_io.h"
+#include "storage/blocked_column.h"
 #include "storage/mapped_column.h"
+#include "storage/pack_reader.h"
+#include "storage/pack_writer.h"
 
 namespace ndv {
 
@@ -90,8 +94,9 @@ uint64_t PackChecksum(std::span<const uint8_t> bytes) {
 }
 
 bool StartsWithPackMagic(std::string_view head) {
-  return head.size() >= kPackMagic.size() &&
-         head.substr(0, kPackMagic.size()) == kPackMagic;
+  if (head.size() < kPackMagic.size()) return false;
+  const std::string_view magic = head.substr(0, kPackMagic.size());
+  return magic == kPackMagic || magic == kPackV2Magic;
 }
 
 // --------------------------------------------------------------------------
@@ -182,6 +187,51 @@ std::string SerializePack(const Table& table) {
       AppendU64(directory, offsets_offset);
       AppendU64(directory, blob_offset);
       AppendU64(directory, blob_length);
+    } else if (const auto* bi64 =
+                   dynamic_cast<const BlockedInt64Column*>(&column)) {
+      // Blocked (v2) columns decode into a scratch buffer: downgrading a
+      // compressed pack to v1 inherently materializes the raw values.
+      AppendU32(directory, kTypeInt64);
+      const uint64_t offset = AlignPayload8(payload);
+      std::vector<int64_t> values(row_count);
+      bi64->CopyValues(0, static_cast<int64_t>(row_count), values.data());
+      payload.append(reinterpret_cast<const char*>(values.data()),
+                     row_count * sizeof(int64_t));
+      AppendU64(directory, offset);
+    } else if (const auto* bdbl =
+                   dynamic_cast<const BlockedDoubleColumn*>(&column)) {
+      AppendU32(directory, kTypeDouble);
+      const uint64_t offset = AlignPayload8(payload);
+      std::vector<double> values(row_count);
+      bdbl->CopyValues(0, static_cast<int64_t>(row_count), values.data());
+      payload.append(reinterpret_cast<const char*>(values.data()),
+                     row_count * sizeof(double));
+      AppendU64(directory, offset);
+    } else if (const auto* bstr =
+                   dynamic_cast<const BlockedStringColumn*>(&column)) {
+      AppendU32(directory, kTypeString);
+      const uint64_t codes_offset = AlignPayload8(payload);
+      std::vector<int32_t> codes(row_count);
+      bstr->CopyCodes(0, static_cast<int64_t>(row_count), codes.data());
+      payload.append(reinterpret_cast<const char*>(codes.data()),
+                     row_count * sizeof(int32_t));
+      const uint64_t offsets_offset = AlignPayload8(payload);
+      uint64_t blob_length = 0;
+      const int64_t dict_count = bstr->dictionary_size();
+      for (int64_t i = 0; i < dict_count; ++i) {
+        AppendU64(payload, blob_length);
+        blob_length += bstr->DictionaryEntry(static_cast<int32_t>(i)).size();
+      }
+      AppendU64(payload, blob_length);
+      const uint64_t blob_offset = kHeaderBytes + payload.size();
+      for (int64_t i = 0; i < dict_count; ++i) {
+        payload.append(bstr->DictionaryEntry(static_cast<int32_t>(i)));
+      }
+      AppendU64(directory, codes_offset);
+      AppendU64(directory, static_cast<uint64_t>(dict_count));
+      AppendU64(directory, offsets_offset);
+      AppendU64(directory, blob_offset);
+      AppendU64(directory, blob_length);
     } else {
       NDV_CHECK_MSG(false, "SerializePack: unsupported column class (%s)",
                     std::string(ColumnTypeName(column.type())).c_str());
@@ -208,6 +258,12 @@ std::string SerializePack(const Table& table) {
 }
 
 Status WritePackFile(const Table& table, const std::string& path) {
+  // Default format: v2 with auto codec selection, streamed through the
+  // bounded-memory writer (which carries its own temp + fsync + rename).
+  return WritePackFileV2(table, path);
+}
+
+Status WritePackFileV1(const Table& table, const std::string& path) {
   // Write-temp + fsync + rename (common/file_io.h): a reader — or a crash
   // mid-write — never observes a half-written pack at `path`; it sees the
   // old file or the new one, both with intact trailers.
@@ -433,7 +489,20 @@ Table TableFromPack(const PackView& view, std::shared_ptr<const void> owner) {
 StatusOr<Table> OpenPackFile(const std::string& path) {
   auto file = MappedFile::Open(path);
   if (!file.ok()) return file.status();
-  auto view = ParsePack((*file)->bytes());
+  // Both parsers checksum the whole image front to back before any column
+  // materializes — announce the one-pass read so the kernel streams it.
+  (*file)->AdviseSequential(0, (*file)->size());
+  const std::span<const uint8_t> bytes = (*file)->bytes();
+  if (StartsWithPackV2Magic(
+          {reinterpret_cast<const char*>(bytes.data()), bytes.size()})) {
+    auto table = OpenPackV2FromBytes(bytes, *std::move(file));
+    if (!table.ok()) {
+      return Status(table.status().code(),
+                    path + ": " + table.status().message());
+    }
+    return table;
+  }
+  auto view = ParsePack(bytes);
   if (!view.ok()) {
     return Status(view.status().code(),
                   path + ": " + view.status().message());

@@ -81,11 +81,19 @@ struct PackView {
   std::vector<PackColumnView> columns;
 };
 
-// Serializes `table` into one ndvpack image.
+// Serializes `table` into one ndvpack v1 image.
 std::string SerializePack(const Table& table);
 
-// Serializes `table` to `path`. Overwrites an existing file.
+// Serializes `table` to `path`. Overwrites an existing file. Writes the
+// current default format — ndvpack v2 with auto codec selection
+// (storage/pack_writer.h); use WritePackFileV1 (or WritePackFileV2 with
+// explicit options) to pin a format.
 Status WritePackFile(const Table& table, const std::string& path);
+
+// Serializes `table` to `path` in the v1 (uncompressed, non-blocked)
+// format. v1 files remain fully readable; this exists for compatibility
+// fixtures and for consumers that want aliasable whole-column arrays.
+Status WritePackFileV1(const Table& table, const std::string& path);
 
 // Parses and fully validates one ndvpack image. `bytes.data()` must be
 // 8-byte aligned (mmap and malloc'd buffers both are); the views index
@@ -97,12 +105,15 @@ StatusOr<PackView> ParsePack(std::span<const uint8_t> bytes);
 // backing buffer but never the buffer itself.
 Table TableFromPack(const PackView& view, std::shared_ptr<const void> owner);
 
-// Maps `path` and returns its table: ParsePack + TableFromPack with the
-// mapping as owner. This is the whole "ingest" step for packed data.
+// Maps `path` and returns its table, dispatching on the magic: v1 images
+// parse to mapped whole-column views, v2 images (storage/pack_reader.h)
+// to block-granular columns. This is the whole "ingest" step for packed
+// data.
 StatusOr<Table> OpenPackFile(const std::string& path);
 
-// True when `head` begins with the ndvpack magic (used by the transparent
-// loader to pick the pack path over CSV without trusting file extensions).
+// True when `head` begins with either ndvpack magic — v1 "NDVPACK1" or v2
+// "NDVPACK2" (used by the transparent loader to pick the pack path over
+// CSV without trusting file extensions).
 bool StartsWithPackMagic(std::string_view head);
 
 }  // namespace ndv

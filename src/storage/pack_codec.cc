@@ -1,0 +1,341 @@
+#include "storage/pack_codec.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace ndv {
+
+namespace {
+
+// Smallest signed two's-complement byte width in {1, 2, 4} that represents
+// `delta` exactly, or 8 when none does.
+uint8_t DeltaWidthFor(uint64_t delta) {
+  const auto d = static_cast<int64_t>(delta);
+  if (d >= -128 && d <= 127) return 1;
+  if (d >= -32768 && d <= 32767) return 2;
+  if (d >= -2147483648LL && d <= 2147483647LL) return 4;
+  return 8;
+}
+
+void AppendLittleEndian(std::string* out, uint64_t value, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadLittleEndian(const uint8_t* bytes, size_t count) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < count; ++i) {
+    value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+int64_t SignExtend(uint64_t value, size_t bytes) {
+  const size_t shift = 64 - 8 * bytes;
+  return static_cast<int64_t>(value << shift) >> shift;
+}
+
+}  // namespace
+
+bool ParsePackCodecChoice(std::string_view text, PackCodecChoice* out) {
+  if (text == "auto") {
+    *out = PackCodecChoice::kAutoCodec;
+    return true;
+  }
+  if (text == "raw") {
+    *out = PackCodecChoice::kForceRaw;
+    return true;
+  }
+  if (text == "delta") {
+    *out = PackCodecChoice::kForceDelta;
+    return true;
+  }
+  if (text == "dict") {
+    *out = PackCodecChoice::kForceDict;
+    return true;
+  }
+  return false;
+}
+
+const char* PackCodecChoiceName(PackCodecChoice choice) {
+  switch (choice) {
+    case PackCodecChoice::kAutoCodec:
+      return "auto";
+    case PackCodecChoice::kForceRaw:
+      return "raw";
+    case PackCodecChoice::kForceDelta:
+      return "delta";
+    case PackCodecChoice::kForceDict:
+      return "dict";
+  }
+  return "unknown";
+}
+
+const char* PackBlockCodecName(PackBlockCodec codec) {
+  switch (codec) {
+    case PackBlockCodec::kRaw:
+      return "raw";
+    case PackBlockCodec::kDelta:
+      return "delta";
+    case PackBlockCodec::kDictCodes:
+      return "dict";
+  }
+  return "unknown";
+}
+
+// --- Checksum. ------------------------------------------------------------
+
+void PackChecksummer::Append(std::string_view bytes) {
+  total_bytes_ += bytes.size();
+  size_t i = 0;
+  // Top up a partial word left by the previous Append.
+  if (pending_count_ > 0) {
+    while (pending_count_ < 8 && i < bytes.size()) {
+      pending_[pending_count_++] = static_cast<uint8_t>(bytes[i++]);
+    }
+    if (pending_count_ < 8) return;
+    uint64_t word;
+    std::memcpy(&word, pending_, sizeof(word));
+    h_ = Hash64(h_ ^ word);
+    pending_count_ = 0;
+  }
+  for (; i + 8 <= bytes.size(); i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes.data() + i, sizeof(word));
+    h_ = Hash64(h_ ^ word);
+  }
+  while (i < bytes.size()) {
+    pending_[pending_count_++] = static_cast<uint8_t>(bytes[i++]);
+  }
+}
+
+uint64_t PackChecksummer::Finish() const {
+  uint64_t h = h_;
+  if (pending_count_ > 0) {
+    uint8_t tail[8] = {};  // Zero-padded; the length fold disambiguates.
+    std::memcpy(tail, pending_, pending_count_);
+    uint64_t word;
+    std::memcpy(&word, tail, sizeof(word));
+    h = Hash64(h ^ word);
+  }
+  return Hash64(h ^ total_bytes_);
+}
+
+uint64_t PackChecksumV2(std::span<const uint8_t> bytes) {
+  PackChecksummer sum;
+  sum.Append({reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+  return sum.Finish();
+}
+
+// --- Encoding. ------------------------------------------------------------
+
+PackBlockEncoding EncodeInt64Block(std::span<const int64_t> values,
+                                   PackCodecChoice choice, std::string* out) {
+  NDV_CHECK_GE(values.size(), 1u);
+  if (choice != PackCodecChoice::kForceRaw) {
+    // Width = widest delta in the block (wrapping arithmetic).
+    uint8_t width = 0;
+    for (size_t i = 1; i < values.size(); ++i) {
+      const uint64_t delta = static_cast<uint64_t>(values[i]) -
+                             static_cast<uint64_t>(values[i - 1]);
+      if (delta != 0) {
+        const uint8_t w = DeltaWidthFor(delta);
+        if (w > width) width = w;
+      }
+    }
+    const uint64_t delta_bytes =
+        8 + static_cast<uint64_t>(width) * (values.size() - 1);
+    const uint64_t raw_bytes = 8 * values.size();
+    if (choice == PackCodecChoice::kForceDelta || delta_bytes < raw_bytes) {
+      AppendLittleEndian(out, static_cast<uint64_t>(values[0]), 8);
+      if (width > 0) {
+        for (size_t i = 1; i < values.size(); ++i) {
+          const uint64_t delta = static_cast<uint64_t>(values[i]) -
+                                 static_cast<uint64_t>(values[i - 1]);
+          AppendLittleEndian(out, delta, width);
+        }
+      }
+      return {PackBlockCodec::kDelta, width};
+    }
+  }
+  out->append(reinterpret_cast<const char*>(values.data()),
+              values.size() * sizeof(int64_t));
+  return {PackBlockCodec::kRaw, 0};
+}
+
+PackBlockEncoding EncodeDoubleBlock(std::span<const double> values,
+                                    std::string* out) {
+  NDV_CHECK_GE(values.size(), 1u);
+  out->append(reinterpret_cast<const char*>(values.data()),
+              values.size() * sizeof(double));
+  return {PackBlockCodec::kRaw, 0};
+}
+
+PackBlockEncoding EncodeCodesBlock(std::span<const int32_t> codes,
+                                   PackCodecChoice choice, std::string* out) {
+  NDV_CHECK_GE(codes.size(), 1u);
+  if (choice != PackCodecChoice::kForceRaw) {
+    int32_t max_code = 0;
+    for (const int32_t code : codes) {
+      NDV_DCHECK(code >= 0);
+      if (code > max_code) max_code = code;
+    }
+    const uint8_t width = max_code <= 0xff ? 1 : max_code <= 0xffff ? 2 : 4;
+    if (choice == PackCodecChoice::kForceDict || width < 4) {
+      for (const int32_t code : codes) {
+        AppendLittleEndian(out, static_cast<uint64_t>(code), width);
+      }
+      return {PackBlockCodec::kDictCodes, width};
+    }
+  }
+  out->append(reinterpret_cast<const char*>(codes.data()),
+              codes.size() * sizeof(int32_t));
+  return {PackBlockCodec::kRaw, 0};
+}
+
+// --- Validation. ----------------------------------------------------------
+
+Status ValidateValueBlock(PackBlockCodec codec, uint8_t param, bool is_double,
+                          int64_t rows, uint64_t payload_length) {
+  if (rows < 1) return DataLossError("block with %lld rows",
+                                     static_cast<long long>(rows));
+  switch (codec) {
+    case PackBlockCodec::kRaw: {
+      if (param != 0) {
+        return DataLossError("raw block with nonzero param %u", param);
+      }
+      const uint64_t want = static_cast<uint64_t>(rows) * 8;
+      if (payload_length != want) {
+        return DataLossError(
+            "raw block length %llu != %llu for %lld rows",
+            static_cast<unsigned long long>(payload_length),
+            static_cast<unsigned long long>(want),
+            static_cast<long long>(rows));
+      }
+      return Status::Ok();
+    }
+    case PackBlockCodec::kDelta: {
+      if (is_double) return DataLossError("delta block in a double column");
+      if (param != 0 && param != 1 && param != 2 && param != 4 && param != 8) {
+        return DataLossError("delta block with width %u", param);
+      }
+      const uint64_t want =
+          8 + static_cast<uint64_t>(param) * (static_cast<uint64_t>(rows) - 1);
+      if (payload_length != want) {
+        return DataLossError(
+            "delta block length %llu != %llu (width %u, %lld rows)",
+            static_cast<unsigned long long>(payload_length),
+            static_cast<unsigned long long>(want), param,
+            static_cast<long long>(rows));
+      }
+      return Status::Ok();
+    }
+    case PackBlockCodec::kDictCodes:
+      return DataLossError("dict block in a value column");
+  }
+  return DataLossError("unknown block codec %u", static_cast<unsigned>(codec));
+}
+
+Status ValidateCodesBlock(PackBlockCodec codec, uint8_t param, int64_t rows,
+                          std::span<const uint8_t> payload,
+                          uint64_t dict_count) {
+  if (rows < 1) return DataLossError("block with %lld rows",
+                                     static_cast<long long>(rows));
+  size_t width;
+  switch (codec) {
+    case PackBlockCodec::kRaw:
+      if (param != 0) {
+        return DataLossError("raw code block with nonzero param %u", param);
+      }
+      width = 4;
+      break;
+    case PackBlockCodec::kDictCodes:
+      if (param != 1 && param != 2 && param != 4) {
+        return DataLossError("dict code block with width %u", param);
+      }
+      width = param;
+      break;
+    case PackBlockCodec::kDelta:
+      return DataLossError("delta block in a string column");
+    default:
+      return DataLossError("unknown block codec %u",
+                           static_cast<unsigned>(codec));
+  }
+  const uint64_t want = static_cast<uint64_t>(rows) * width;
+  if (payload.size() != want) {
+    return DataLossError("code block length %zu != %llu (width %zu, %lld "
+                         "rows)",
+                         payload.size(),
+                         static_cast<unsigned long long>(want), width,
+                         static_cast<long long>(rows));
+  }
+  // Every code must index the dictionary. Raw stores int32 (negatives
+  // possible on disk); dict widths store unsigned codes.
+  for (int64_t i = 0; i < rows; ++i) {
+    uint64_t code;
+    if (codec == PackBlockCodec::kRaw) {
+      int32_t raw;
+      std::memcpy(&raw, payload.data() + static_cast<size_t>(i) * 4, 4);
+      if (raw < 0) {
+        return DataLossError("negative code %ld at block row %lld",
+                             static_cast<long>(raw),
+                             static_cast<long long>(i));
+      }
+      code = static_cast<uint64_t>(raw);
+    } else {
+      code = ReadLittleEndian(payload.data() + static_cast<size_t>(i) * width,
+                              width);
+    }
+    if (code >= dict_count) {
+      return DataLossError(
+          "code %llu at block row %lld outside dictionary of %llu",
+          static_cast<unsigned long long>(code), static_cast<long long>(i),
+          static_cast<unsigned long long>(dict_count));
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Decode. --------------------------------------------------------------
+
+void DecodeInt64Block(PackBlockCodec codec, uint8_t param, int64_t rows,
+                      const uint8_t* payload, int64_t* out) {
+  NDV_DCHECK(rows >= 1);
+  if (codec == PackBlockCodec::kRaw) {
+    std::memcpy(out, payload, static_cast<size_t>(rows) * sizeof(int64_t));
+    return;
+  }
+  NDV_DCHECK(codec == PackBlockCodec::kDelta);
+  uint64_t value = ReadLittleEndian(payload, 8);
+  out[0] = static_cast<int64_t>(value);
+  if (param == 0) {  // Zero-order hold: the whole block equals the base.
+    for (int64_t i = 1; i < rows; ++i) out[i] = out[0];
+    return;
+  }
+  const uint8_t* deltas = payload + 8;
+  for (int64_t i = 1; i < rows; ++i) {
+    const uint64_t raw = ReadLittleEndian(
+        deltas + static_cast<size_t>(i - 1) * param, param);
+    value += static_cast<uint64_t>(SignExtend(raw, param));
+    out[i] = static_cast<int64_t>(value);
+  }
+}
+
+void DecodeCodesBlock(PackBlockCodec codec, uint8_t param, int64_t rows,
+                      const uint8_t* payload, int32_t* out) {
+  NDV_DCHECK(rows >= 1);
+  if (codec == PackBlockCodec::kRaw) {
+    std::memcpy(out, payload, static_cast<size_t>(rows) * sizeof(int32_t));
+    return;
+  }
+  NDV_DCHECK(codec == PackBlockCodec::kDictCodes);
+  for (int64_t i = 0; i < rows; ++i) {
+    out[i] = static_cast<int32_t>(ReadLittleEndian(
+        payload + static_cast<size_t>(i) * param, param));
+  }
+}
+
+}  // namespace ndv

@@ -1,9 +1,8 @@
 #include "table/column.h"
 
-#include <cmath>
-#include <cstring>
-#include <limits>
 #include <unordered_map>
+
+#include "common/simd_hash.h"
 
 namespace ndv {
 
@@ -19,23 +18,6 @@ std::string_view ColumnTypeName(ColumnType type) {
   return "unknown";
 }
 
-uint64_t HashBytes(std::string_view bytes) {
-  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= 0x100000001b3ULL;  // FNV prime
-  }
-  return Hash64(h);
-}
-
-uint64_t HashDoubleValue(double v) {
-  if (v == 0.0) v = 0.0;  // Canonicalize -0.0.
-  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return Hash64(bits);
-}
-
 void Column::HashRange(std::span<const int64_t> rows, uint64_t* out) const {
   // Generic fallback for column types without a batched loop: still one
   // virtual call per row, but callers get the batch interface uniformly.
@@ -48,6 +30,7 @@ void Column::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
 }
 
 std::vector<uint64_t> Column::HashAll() const {
+  PrepareFullScan();
   std::vector<uint64_t> hashes(static_cast<size_t>(size()));
   HashSlice(0, size(), hashes.data());
   return hashes;
@@ -55,20 +38,16 @@ std::vector<uint64_t> Column::HashAll() const {
 
 void Int64Column::HashRange(std::span<const int64_t> rows,
                             uint64_t* out) const {
-  const int64_t* values = values_.data();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
-    out[i] = Hash64(static_cast<uint64_t>(values[rows[i]]));
-  }
+#if NDV_DCHECK_ENABLED
+  for (const int64_t row : rows) NDV_DCHECK(0 <= row && row < size());
+#endif
+  HashInt64Gather(values_.data(), rows.data(), rows.size(), out);
 }
 
 void Int64Column::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
   NDV_DCHECK(0 <= begin && begin <= end && end <= size());
-  const int64_t* values = values_.data() + begin;
-  const int64_t count = end - begin;
-  for (int64_t i = 0; i < count; ++i) {
-    out[i] = Hash64(static_cast<uint64_t>(values[i]));
-  }
+  HashInt64Span(values_.data() + begin, static_cast<size_t>(end - begin),
+                out);
 }
 
 uint64_t DoubleColumn::HashAt(int64_t row) const {
@@ -78,18 +57,16 @@ uint64_t DoubleColumn::HashAt(int64_t row) const {
 
 void DoubleColumn::HashRange(std::span<const int64_t> rows,
                              uint64_t* out) const {
-  const double* values = values_.data();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    NDV_DCHECK(0 <= rows[i] && rows[i] < size());
-    out[i] = HashDoubleValue(values[rows[i]]);
-  }
+#if NDV_DCHECK_ENABLED
+  for (const int64_t row : rows) NDV_DCHECK(0 <= row && row < size());
+#endif
+  HashDoubleGather(values_.data(), rows.data(), rows.size(), out);
 }
 
 void DoubleColumn::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
   NDV_DCHECK(0 <= begin && begin <= end && end <= size());
-  const double* values = values_.data() + begin;
-  const int64_t count = end - begin;
-  for (int64_t i = 0; i < count; ++i) out[i] = HashDoubleValue(values[i]);
+  HashDoubleSpan(values_.data() + begin, static_cast<size_t>(end - begin),
+                 out);
 }
 
 void StringColumn::HashRange(std::span<const int64_t> rows,
@@ -104,12 +81,8 @@ void StringColumn::HashRange(std::span<const int64_t> rows,
 
 void StringColumn::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
   NDV_DCHECK(0 <= begin && begin <= end && end <= size());
-  const int32_t* codes = codes_.data() + begin;
-  const uint64_t* hashes = hashes_.data();
-  const int64_t count = end - begin;
-  for (int64_t i = 0; i < count; ++i) {
-    out[i] = hashes[static_cast<size_t>(codes[i])];
-  }
+  HashLookupCodes32(codes_.data() + begin, hashes_.data(),
+                    static_cast<size_t>(end - begin), out);
 }
 
 StringColumn::StringColumn(const std::vector<std::string>& values) {

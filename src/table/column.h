@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/value_hash.h"
 
 namespace ndv {
 
@@ -45,8 +46,18 @@ class Column {
   // Contiguous: out[i] = HashAt(begin + i) for i in [0, end - begin).
   // Requires 0 <= begin <= end <= size().
   virtual void HashSlice(int64_t begin, int64_t end, uint64_t* out) const;
-  // Convenience: hashes of all rows, in row order.
+  // Convenience: hashes of all rows, in row order. Announces the scan via
+  // PrepareFullScan() before hashing.
   std::vector<uint64_t> HashAll() const;
+
+  // Storage-advice hooks; no-ops for heap columns. File-backed columns
+  // translate them into madvise: PrepareFullScan declares that the caller
+  // is about to read every row in order (MADV_SEQUENTIAL — readahead up,
+  // no page retention), PrefetchRows requests async readahead of just the
+  // row range [begin, end) that a sampled scan is about to touch
+  // (MADV_WILLNEED). Purely hints: never affect results.
+  virtual void PrepareFullScan() const {}
+  virtual void PrefetchRows(int64_t /*begin*/, int64_t /*end*/) const {}
 
   // Debug rendering of the value at `row`.
   virtual std::string ValueToString(int64_t row) const = 0;
@@ -140,15 +151,10 @@ class StringColumn final : public Column {
   std::vector<uint64_t> hashes_;  // one per dictionary entry
 };
 
-// FNV-1a 64-bit hash of a byte string, finalized with Hash64 mixing.
-uint64_t HashBytes(std::string_view bytes);
-
-// Hash of one double under the library's equality classes: -0.0
-// canonicalized to +0.0, every NaN payload collapsed into one class. All
-// double-hashing paths (heap DoubleColumn, the batch kernels, the mmap
-// columns in src/storage) go through this one function so they stay
-// bit-identical.
-uint64_t HashDoubleValue(double v);
+// HashBytes and HashDoubleValue — the shared value-hash primitives every
+// column class and batch kernel uses — live in common/value_hash.h (pulled
+// in above) so the SIMD layer under this hierarchy can reach them without
+// a dependency cycle.
 
 }  // namespace ndv
 

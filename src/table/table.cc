@@ -54,6 +54,7 @@ void InsertSliceHashes(const Column& column, int64_t begin, int64_t end,
 }  // namespace
 
 int64_t ExactDistinctHashSet(const Column& column, int threads) {
+  column.PrepareFullScan();  // Every row is read in order (per chunk).
   const int64_t n = column.size();
   const int workers = ResolveThreadCount(threads);
   if (workers <= 1 || n < 2 * kMinParallelRows ||

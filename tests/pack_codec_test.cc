@@ -1,0 +1,239 @@
+// The v2 block-codec layer's contract: every encoder output validates and
+// decodes back to the input values (round trip), the auto policy only
+// picks a codec when it actually shrinks the block, validators reject
+// every malformed claim with a Status (never a crash), and the streaming
+// checksummer is chunking-invariant and length-sensitive.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/pack_codec.h"
+
+namespace ndv {
+namespace {
+
+std::vector<int64_t> DecodeInt64(PackBlockEncoding enc, int64_t rows,
+                                 const std::string& payload) {
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  DecodeInt64Block(enc.codec, enc.param, rows,
+                   reinterpret_cast<const uint8_t*>(payload.data()),
+                   out.data());
+  return out;
+}
+
+std::vector<int32_t> DecodeCodes(PackBlockEncoding enc, int64_t rows,
+                                 const std::string& payload) {
+  std::vector<int32_t> out(static_cast<size_t>(rows));
+  DecodeCodesBlock(enc.codec, enc.param, rows,
+                   reinterpret_cast<const uint8_t*>(payload.data()),
+                   out.data());
+  return out;
+}
+
+// Encode -> validate -> decode must reproduce `values` for every policy.
+void ExpectInt64RoundTrip(const std::vector<int64_t>& values,
+                          PackCodecChoice choice) {
+  std::string payload;
+  const PackBlockEncoding enc = EncodeInt64Block(values, choice, &payload);
+  const auto rows = static_cast<int64_t>(values.size());
+  const Status valid = ValidateValueBlock(enc.codec, enc.param,
+                                          /*is_double=*/false, rows,
+                                          payload.size());
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_EQ(DecodeInt64(enc, rows, payload), values)
+      << "choice " << PackCodecChoiceName(choice) << " codec "
+      << PackBlockCodecName(enc.codec) << " width " << int{enc.param};
+}
+
+TEST(PackCodecTest, Int64RoundTripsEveryPolicyAndShape) {
+  const std::vector<std::vector<int64_t>> shapes = {
+      {0},                         // 1 row
+      {7, 7, 7, 7, 7},             // constant run (width-0 zero-order-hold)
+      {1, 2, 3, 4, 5, 6, 7},       // unit deltas, odd length
+      {100, 90, 95, 105, 80},      // mixed-sign small deltas
+      {0, 1000, -1000, 500000},    // width-4 deltas
+      {std::numeric_limits<int64_t>::min(),
+       std::numeric_limits<int64_t>::max(), 0,
+       std::numeric_limits<int64_t>::min()},  // wrapping deltas
+      std::vector<int64_t>(4097, -3),         // crosses the default block
+  };
+  for (const auto& values : shapes) {
+    for (const auto choice :
+         {PackCodecChoice::kAutoCodec, PackCodecChoice::kForceRaw,
+          PackCodecChoice::kForceDelta, PackCodecChoice::kForceDict}) {
+      SCOPED_TRACE(PackCodecChoiceName(choice));
+      ExpectInt64RoundTrip(values, choice);
+    }
+  }
+}
+
+TEST(PackCodecTest, DeltaWidthMatchesTheData) {
+  std::string payload;
+  // Constant run: width 0, payload is just the 8-byte base.
+  auto enc = EncodeInt64Block(std::vector<int64_t>{5, 5, 5, 5},
+                              PackCodecChoice::kForceDelta, &payload);
+  EXPECT_EQ(enc.codec, PackBlockCodec::kDelta);
+  EXPECT_EQ(enc.param, 0);
+  EXPECT_EQ(payload.size(), 8u);
+
+  payload.clear();
+  enc = EncodeInt64Block(std::vector<int64_t>{0, 1, -1, 100},
+                         PackCodecChoice::kForceDelta, &payload);
+  EXPECT_EQ(enc.param, 1);
+  EXPECT_EQ(payload.size(), 8u + 3u);
+
+  payload.clear();
+  enc = EncodeInt64Block(std::vector<int64_t>{0, 30000, 0},
+                         PackCodecChoice::kForceDelta, &payload);
+  EXPECT_EQ(enc.param, 2);
+  EXPECT_EQ(payload.size(), 8u + 2u * 2u);
+}
+
+TEST(PackCodecTest, AutoPicksDeltaOnlyWhenStrictlySmaller) {
+  // Sorted small-delta data: delta (8 + n-1 bytes) beats raw (8n bytes).
+  std::string payload;
+  std::vector<int64_t> sorted(64);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    sorted[i] = static_cast<int64_t>(i * 3);
+  }
+  auto enc = EncodeInt64Block(sorted, PackCodecChoice::kAutoCodec, &payload);
+  EXPECT_EQ(enc.codec, PackBlockCodec::kDelta);
+  EXPECT_LT(payload.size(), sorted.size() * 8);
+
+  // Full-width deltas: delta would cost 8 + 8(n-1) = raw, so raw wins.
+  payload.clear();
+  const std::vector<int64_t> jumpy = {
+      0, std::numeric_limits<int64_t>::max(), -1,
+      std::numeric_limits<int64_t>::min(), 1};
+  enc = EncodeInt64Block(jumpy, PackCodecChoice::kAutoCodec, &payload);
+  EXPECT_EQ(enc.codec, PackBlockCodec::kRaw);
+  EXPECT_EQ(payload.size(), jumpy.size() * 8);
+}
+
+TEST(PackCodecTest, DoubleBlocksAlwaysEncodeRaw) {
+  std::string payload;
+  const std::vector<double> values = {
+      0.0, -0.0, 1.5, std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity()};
+  const PackBlockEncoding enc = EncodeDoubleBlock(values, &payload);
+  EXPECT_EQ(enc.codec, PackBlockCodec::kRaw);
+  EXPECT_EQ(payload.size(), values.size() * 8);
+  const Status valid =
+      ValidateValueBlock(enc.codec, enc.param, /*is_double=*/true,
+                         static_cast<int64_t>(values.size()), payload.size());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(PackCodecTest, CodesRoundTripAtEveryWidth) {
+  const std::vector<std::pair<std::vector<int32_t>, uint8_t>> cases = {
+      {{0}, 1},                      // 1 row, width 1
+      {{0, 1, 2, 255, 7}, 1},        // max code 255 still fits width 1
+      {{0, 256, 70, 65535}, 2},      // width 2
+      {{0, 65536, 5}, 4},            // width 4
+  };
+  for (const auto& [codes, want_width] : cases) {
+    std::string payload;
+    const PackBlockEncoding enc =
+        EncodeCodesBlock(codes, PackCodecChoice::kAutoCodec, &payload);
+    const auto rows = static_cast<int64_t>(codes.size());
+    const uint64_t dict_count =
+        static_cast<uint64_t>(
+            *std::max_element(codes.begin(), codes.end())) + 1;
+    if (want_width < 4) {
+      EXPECT_EQ(enc.codec, PackBlockCodec::kDictCodes);
+      EXPECT_EQ(enc.param, want_width);
+    } else {
+      // Width-4 dict codes save nothing over the raw int32 array.
+      EXPECT_EQ(enc.codec, PackBlockCodec::kRaw);
+    }
+    const Status valid = ValidateCodesBlock(
+        enc.codec, enc.param, rows,
+        {reinterpret_cast<const uint8_t*>(payload.data()), payload.size()},
+        dict_count);
+    ASSERT_TRUE(valid.ok()) << valid.ToString();
+    EXPECT_EQ(DecodeCodes(enc, rows, payload), codes);
+  }
+}
+
+TEST(PackCodecTest, ValidatorsRejectMalformedClaims) {
+  // Wrong payload length for the claimed codec/rows.
+  EXPECT_FALSE(ValidateValueBlock(PackBlockCodec::kRaw, 0, false, 4, 31).ok());
+  EXPECT_FALSE(ValidateValueBlock(PackBlockCodec::kDelta, 1, false, 4, 12).ok());
+  // Dict codes are not a value codec; delta is not a double codec.
+  EXPECT_FALSE(
+      ValidateValueBlock(PackBlockCodec::kDictCodes, 1, false, 4, 4).ok());
+  EXPECT_FALSE(ValidateValueBlock(PackBlockCodec::kDelta, 1, true, 4, 11).ok());
+  // Illegal delta widths.
+  EXPECT_FALSE(ValidateValueBlock(PackBlockCodec::kDelta, 3, false, 4, 17).ok());
+  EXPECT_FALSE(ValidateValueBlock(PackBlockCodec::kDelta, 9, false, 4, 35).ok());
+
+  // A code out of dictionary range is caught at validation, before decode.
+  const std::vector<int32_t> codes = {0, 1, 2, 3};
+  std::string payload;
+  const PackBlockEncoding enc =
+      EncodeCodesBlock(codes, PackCodecChoice::kForceDict, &payload);
+  const std::span<const uint8_t> bytes(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  EXPECT_TRUE(ValidateCodesBlock(enc.codec, enc.param, 4, bytes, 4).ok());
+  const Status reject = ValidateCodesBlock(enc.codec, enc.param, 4, bytes, 3);
+  ASSERT_FALSE(reject.ok());
+  EXPECT_EQ(reject.code(), StatusCode::kDataLoss);
+  // Illegal code width.
+  EXPECT_FALSE(ValidateCodesBlock(PackBlockCodec::kDictCodes, 3, 4,
+                                  bytes.subspan(0, 12), 4)
+                   .ok());
+}
+
+TEST(PackCodecTest, ChecksummerIsChunkingInvariantAndLengthSensitive) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<char>(i * 7));
+
+  const uint64_t whole = PackChecksumV2(
+      {reinterpret_cast<const uint8_t*>(data.data()), data.size()});
+  for (const size_t chunk : {1u, 3u, 7u, 8u, 64u, 999u}) {
+    PackChecksummer sum;
+    for (size_t i = 0; i < data.size(); i += chunk) {
+      sum.Append(std::string_view(data).substr(i, chunk));
+    }
+    EXPECT_EQ(sum.Finish(), whole) << "chunk " << chunk;
+  }
+
+  // Finish() is idempotent (does not consume state).
+  PackChecksummer sum;
+  sum.Append(data);
+  EXPECT_EQ(sum.Finish(), whole);
+  EXPECT_EQ(sum.Finish(), whole);
+
+  // Trailing zeros change the checksum even though the 8-byte folds see
+  // identical words (the end-folded length disambiguates).
+  std::string padded = data;
+  padded.append(8, '\0');
+  EXPECT_NE(PackChecksumV2({reinterpret_cast<const uint8_t*>(padded.data()),
+                            padded.size()}),
+            whole);
+  EXPECT_NE(PackChecksumV2(std::span<const uint8_t>()),
+            PackChecksumV2({reinterpret_cast<const uint8_t*>("\0"), 1}));
+}
+
+TEST(PackCodecTest, CodecChoiceNamesParse) {
+  PackCodecChoice choice = PackCodecChoice::kForceRaw;
+  EXPECT_TRUE(ParsePackCodecChoice("auto", &choice));
+  EXPECT_EQ(choice, PackCodecChoice::kAutoCodec);
+  EXPECT_TRUE(ParsePackCodecChoice("raw", &choice));
+  EXPECT_EQ(choice, PackCodecChoice::kForceRaw);
+  EXPECT_TRUE(ParsePackCodecChoice("delta", &choice));
+  EXPECT_EQ(choice, PackCodecChoice::kForceDelta);
+  EXPECT_TRUE(ParsePackCodecChoice("dict", &choice));
+  EXPECT_EQ(choice, PackCodecChoice::kForceDict);
+  EXPECT_FALSE(ParsePackCodecChoice("zstd", &choice));
+  EXPECT_FALSE(ParsePackCodecChoice("", &choice));
+}
+
+}  // namespace
+}  // namespace ndv

@@ -18,6 +18,8 @@
 //   ndv_cli generate --kind=zipf --rows=100000 --z=1 --dup=10 --out=data.csv
 //   ndv_cli generate --kind=zipf --rows=100000 --out=data.ndvpack
 //   ndv_cli pack --in=data.csv --out=data.ndvpack
+//   ndv_cli pack --in=data.csv --out=data.ndvpack --codec=delta
+//   ndv_cli pack --in=data.csv --out=data.ndvpack --v1   # legacy format
 //   ndv_cli estimate --in=data.csv --column=value --fraction=0.01
 //   ndv_cli analyze --in=data.ndvpack --fraction=0.05 --out=stats.ndv
 //   ndv_cli analyze --in=data.csv --threads=8   # or NDV_THREADS=8
@@ -61,6 +63,8 @@
 #include "serve/stats_service.h"
 #include "sketch/exact_counter.h"
 #include "storage/ndvpack.h"
+#include "storage/pack_codec.h"
+#include "storage/pack_writer.h"
 #include "storage/table_loader.h"
 #include "table/column_sampling.h"
 #include "table/csv.h"
@@ -109,6 +113,34 @@ int64_t GetInt(const Flags& flags, const std::string& name,
 [[noreturn]] void Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   std::exit(1);
+}
+
+// --codec=auto|raw|delta|dict selects the v2 block codec policy for any
+// command that writes an .ndvpack file; unknown names fail fast.
+ndv::PackCodecChoice GetCodecFlag(const Flags& flags) {
+  const std::string name = GetFlag(flags, "codec", "auto");
+  ndv::PackCodecChoice codec = ndv::PackCodecChoice::kAutoCodec;
+  if (!ndv::ParsePackCodecChoice(name, &codec)) {
+    Fail("unknown --codec '" + name + "' (use auto|raw|delta|dict)");
+  }
+  return codec;
+}
+
+// Writes `table` as ndvpack honoring --codec and --v1 (legacy format; the
+// two flags are mutually exclusive since v1 has no codec layer).
+ndv::Status WritePackWithFlags(const ndv::Table& table,
+                               const std::string& out_path,
+                               const Flags& flags) {
+  const bool v1 = GetFlag(flags, "v1", "false") == "true";
+  if (v1) {
+    if (flags.count("codec") != 0) {
+      Fail("--v1 packs are uncompressed; drop --codec");
+    }
+    return ndv::WritePackFileV1(table, out_path);
+  }
+  ndv::PackWriteOptions options;
+  options.codec = GetCodecFlag(flags);
+  return ndv::WritePackFileV2(table, out_path, options);
 }
 
 // Loads --in: .ndvpack images open zero-copy by mmap, anything else is
@@ -161,7 +193,7 @@ int CmdGenerate(const Flags& flags) {
       out_path.size() >= 8 &&
       out_path.compare(out_path.size() - 8, 8, ".ndvpack") == 0;
   if (as_pack) {
-    const ndv::Status status = ndv::WritePackFile(table, out_path);
+    const ndv::Status status = WritePackWithFlags(table, out_path, flags);
     if (!status.ok()) Fail(status.ToString());
   } else {
     std::ofstream out(out_path);
@@ -182,7 +214,7 @@ int CmdPack(const Flags& flags) {
   if (out_path.empty()) Fail("--out is required");
 
   const ndv::Table table = LoadTable(in_path);
-  const ndv::Status status = ndv::WritePackFile(table, out_path);
+  const ndv::Status status = WritePackWithFlags(table, out_path, flags);
   if (!status.ok()) Fail(status.ToString());
 
   // Re-open through the mmap path: proves the file round-trips before
