@@ -5,6 +5,17 @@
 #include "common/check.h"
 
 namespace ndv {
+namespace {
+
+std::shared_ptr<const CatalogEpoch> MakeEpoch(StatsCatalog catalog,
+                                              uint64_t epoch) {
+  auto generation = std::make_shared<CatalogEpoch>();
+  generation->epoch = epoch;
+  generation->catalog = std::move(catalog);
+  return generation;
+}
+
+}  // namespace
 
 ConcurrentStatsCatalog::ConcurrentStatsCatalog()
     : current_(std::make_shared<CatalogEpoch>()) {}
@@ -13,15 +24,11 @@ ConcurrentStatsCatalog::ConcurrentStatsCatalog(StatsCatalog initial)
     : ConcurrentStatsCatalog(std::move(initial), 1) {}
 
 ConcurrentStatsCatalog::ConcurrentStatsCatalog(StatsCatalog initial,
-                                               uint64_t initial_epoch) {
-  auto epoch = std::make_shared<CatalogEpoch>();
-  epoch->epoch = initial_epoch;
-  epoch->catalog = std::move(initial);
-  current_ = std::move(epoch);
-}
+                                               uint64_t initial_epoch)
+    : current_(MakeEpoch(std::move(initial), initial_epoch)) {}
 
 std::shared_ptr<const CatalogEpoch> ConcurrentStatsCatalog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  MutexLock lock(snapshot_mutex_);
   return current_;
 }
 
@@ -35,31 +42,31 @@ uint64_t ConcurrentStatsCatalog::PublishLocked(StatsCatalog catalog) {
   // epoch read and the swap, so epochs are strictly increasing.
   auto next = std::make_shared<CatalogEpoch>();
   next->catalog = std::move(catalog);
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  MutexLock lock(snapshot_mutex_);
   next->epoch = current_->epoch + 1;
   current_ = std::move(next);
   return current_->epoch;
 }
 
 uint64_t ConcurrentStatsCatalog::Put(ColumnStats stats) {
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  MutexLock writer(writer_mutex_);
   StatsCatalog next = Snapshot()->catalog;  // copy outside snapshot_mutex_
   next.Put(std::move(stats));
   return PublishLocked(std::move(next));
 }
 
 uint64_t ConcurrentStatsCatalog::Publish(StatsCatalog catalog) {
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  MutexLock writer(writer_mutex_);
   return PublishLocked(std::move(catalog));
 }
 
 uint64_t ConcurrentStatsCatalog::PublishAt(StatsCatalog catalog,
                                            uint64_t epoch) {
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  MutexLock writer(writer_mutex_);
   auto next = std::make_shared<CatalogEpoch>();
   next->epoch = epoch;
   next->catalog = std::move(catalog);
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  MutexLock lock(snapshot_mutex_);
   NDV_CHECK_GT(epoch, current_->epoch);
   current_ = std::move(next);
   return epoch;
@@ -67,7 +74,7 @@ uint64_t ConcurrentStatsCatalog::PublishAt(StatsCatalog catalog,
 
 uint64_t ConcurrentStatsCatalog::Update(
     const std::function<void(StatsCatalog&)>& mutate) {
-  std::lock_guard<std::mutex> writer(writer_mutex_);
+  MutexLock writer(writer_mutex_);
   StatsCatalog next = Snapshot()->catalog;
   mutate(next);
   return PublishLocked(std::move(next));

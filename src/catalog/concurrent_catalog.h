@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 
 #include "catalog/stats_catalog.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ndv {
 
@@ -57,37 +58,49 @@ class ConcurrentStatsCatalog {
 
   // The current generation. Never null; safe to hold indefinitely (it pins
   // only its own generation, not the writer).
-  std::shared_ptr<const CatalogEpoch> Snapshot() const;
+  std::shared_ptr<const CatalogEpoch> Snapshot() const
+      NDV_EXCLUDES(snapshot_mutex_);
 
   // Epoch of the current generation (monotonically increasing).
-  uint64_t epoch() const { return Snapshot()->epoch; }
+  uint64_t epoch() const NDV_EXCLUDES(snapshot_mutex_) {
+    return Snapshot()->epoch;
+  }
 
   // Convenience single lookup against the current generation, by value.
-  std::optional<ColumnStats> Find(std::string_view column_name) const;
+  std::optional<ColumnStats> Find(std::string_view column_name) const
+      NDV_EXCLUDES(snapshot_mutex_);
 
   // Writers. Each returns the epoch of the generation it published.
   // Put: copy-on-write upsert of one column (StatsCatalog::Put semantics:
   // last write wins, no duplicates).
-  uint64_t Put(ColumnStats stats);
+  uint64_t Put(ColumnStats stats)
+      NDV_EXCLUDES(writer_mutex_, snapshot_mutex_);
   // Publish: wholesale replacement — the post-ANALYZE path.
-  uint64_t Publish(StatsCatalog catalog);
+  uint64_t Publish(StatsCatalog catalog)
+      NDV_EXCLUDES(writer_mutex_, snapshot_mutex_);
   // Publish at an explicit epoch (must exceed the current one): the
   // durable-serving path, where the WAL assigns epochs and the in-memory
   // generation number must match what the journal acknowledged.
-  uint64_t PublishAt(StatsCatalog catalog, uint64_t epoch);
+  uint64_t PublishAt(StatsCatalog catalog, uint64_t epoch)
+      NDV_EXCLUDES(writer_mutex_, snapshot_mutex_);
   // Update: general read-copy-update; `mutate` runs on a private copy of
   // the current catalog while readers continue against the old generation.
-  uint64_t Update(const std::function<void(StatsCatalog&)>& mutate);
+  uint64_t Update(const std::function<void(StatsCatalog&)>& mutate)
+      NDV_EXCLUDES(writer_mutex_, snapshot_mutex_);
 
  private:
-  uint64_t PublishLocked(StatsCatalog catalog);
+  uint64_t PublishLocked(StatsCatalog catalog)
+      NDV_REQUIRES(writer_mutex_) NDV_EXCLUDES(snapshot_mutex_);
 
-  // Serializes writers across the whole copy-mutate-swap cycle.
-  std::mutex writer_mutex_;
+  // Serializes writers across the whole copy-mutate-swap cycle. Declared
+  // before snapshot_mutex_ in lock order: a writer takes writer_mutex_
+  // for the whole cycle and snapshot_mutex_ only for the final swap.
+  Mutex writer_mutex_ NDV_ACQUIRED_BEFORE(snapshot_mutex_);
   // Guards only the current_ pointer itself; held for a pointer copy (read
   // side) or a pointer swap (write side) — never across catalog work.
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<const CatalogEpoch> current_;
+  mutable Mutex snapshot_mutex_;
+  std::shared_ptr<const CatalogEpoch> current_
+      NDV_GUARDED_BY(snapshot_mutex_);
 };
 
 }  // namespace ndv

@@ -225,6 +225,9 @@ DurableCatalog::DurableCatalog(DurableCatalogOptions options)
     : options_(std::move(options)) {}
 
 DurableCatalog::~DurableCatalog() {
+  // No thread may still be appending when the destructor runs, but taking
+  // the lock keeps the wal_fd_ access inside its declared capability.
+  MutexLock lock(mutex_);
   if (wal_fd_ >= 0) ::close(wal_fd_);
 }
 
@@ -243,9 +246,15 @@ StatusOr<std::unique_ptr<DurableCatalog>> DurableCatalog::Open(
       new DurableCatalog(std::move(options)));
   const auto start = std::chrono::steady_clock::now();
   NDV_RETURN_IF_ERROR(EnsureDirectory(catalog->options_.dir));
-  NDV_RETURN_IF_ERROR(catalog->Recover());
-  NDV_RETURN_IF_ERROR(catalog->OpenWalForAppend());
-  catalog->recovery_.epoch = catalog->epoch_;
+  {
+    // Recovery runs single-threaded (nothing else holds the new object),
+    // but Recover/OpenWalForAppend carry NDV_REQUIRES(mutex_), so honor
+    // the contract rather than punching an analysis hole through it.
+    MutexLock lock(catalog->mutex_);
+    NDV_RETURN_IF_ERROR(catalog->Recover());
+    NDV_RETURN_IF_ERROR(catalog->OpenWalForAppend());
+    catalog->recovery_.epoch = catalog->epoch_;
+  }
   catalog->recovery_.boot_millis =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)
@@ -495,7 +504,7 @@ Status DurableCatalog::AppendRecord(std::string payload) {
 }
 
 Status DurableCatalog::AppendPut(const ColumnStats& stats) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string payload;
   PutU8(&payload, static_cast<uint8_t>(RecordKind::kPut));
   PutU64(&payload, epoch_ + 1);
@@ -513,7 +522,7 @@ Status DurableCatalog::AppendPut(const ColumnStats& stats) {
 }
 
 Status DurableCatalog::AppendPublish(const StatsCatalog& catalog) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string payload;
   PutU8(&payload, static_cast<uint8_t>(RecordKind::kPublish));
   PutU64(&payload, epoch_ + 1);
@@ -533,7 +542,7 @@ Status DurableCatalog::AppendPublish(const StatsCatalog& catalog) {
 }
 
 Status DurableCatalog::Compact() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return CompactLocked();
 }
 
@@ -622,7 +631,7 @@ Status DurableCatalog::RotateWalLocked() {
 }
 
 Status DurableCatalog::Sync() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (wal_fd_ < 0) {
     return InternalError("WAL is not open (an earlier append or rotation "
                          "failure closed it); a successful Compact() "

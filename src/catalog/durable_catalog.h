@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "catalog/stats_catalog.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ndv {
 
@@ -100,7 +101,7 @@ class DurableCatalog {
   // missing, e.g. both snapshots destroyed). That is kDataLoss, not a
   // repair: truncating intact records would destroy data an operator
   // could still restore from backup.
-  static StatusOr<std::unique_ptr<DurableCatalog>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<DurableCatalog>> Open(
       DurableCatalogOptions options);
 
   DurableCatalog(const DurableCatalog&) = delete;
@@ -109,37 +110,41 @@ class DurableCatalog {
 
   // The recovered / current state: `state()` is the in-memory mirror the
   // WAL and snapshots agree on; epoch() counts every applied record.
-  // Append*/Compact mutate both under mutex_, so these take it too —
-  // state() returns a copy (a reference would race with a concurrent
-  // Publish replacing the catalog wholesale). recovery() is written once
-  // inside Open(), before the object is shared, and is immutable after.
-  StatsCatalog state() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  // state() returns a copy by contract — NDV_GUARDED_BY(mutex_) on state_
+  // makes returning a reference a compile error under -Wthread-safety
+  // (ndv-guarded-return flags it too), because the referent would race
+  // with a concurrent Publish replacing the catalog wholesale. recovery()
+  // is written once inside Open(), before the object is shared, and is
+  // immutable after.
+  StatsCatalog state() const NDV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return state_;
   }
-  uint64_t epoch() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t epoch() const NDV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return epoch_;
   }
   const RecoveryInfo& recovery() const { return recovery_; }
 
   // Journals one column upsert (StatsCatalog::Put semantics) and applies
   // it to the in-memory state. OK return = durable per the fsync policy.
-  Status AppendPut(const ColumnStats& stats);
+  [[nodiscard]] Status AppendPut(const ColumnStats& stats)
+      NDV_EXCLUDES(mutex_);
 
   // Journals a whole-catalog replacement — the ANALYZE publication path.
-  Status AppendPublish(const StatsCatalog& catalog);
+  [[nodiscard]] Status AppendPublish(const StatsCatalog& catalog)
+      NDV_EXCLUDES(mutex_);
 
   // Writes a compacted snapshot of the current state and rotates the WAL.
   // Safe to crash at any internal boundary (see file comment).
-  Status Compact();
+  [[nodiscard]] Status Compact() NDV_EXCLUDES(mutex_);
 
   // Forces the WAL to disk (meaningful under FsyncPolicy::kNone).
-  Status Sync();
+  [[nodiscard]] Status Sync() NDV_EXCLUDES(mutex_);
 
   // Records appended since the last compaction (auto-compaction gauge).
-  int64_t records_since_snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  int64_t records_since_snapshot() const NDV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return records_since_snapshot_;
   }
 
@@ -153,22 +158,24 @@ class DurableCatalog {
   explicit DurableCatalog(DurableCatalogOptions options);
 
   std::string PathTo(std::string_view file) const;
-  Status Recover();
+  Status Recover() NDV_REQUIRES(mutex_);
   // Replays one WAL file. `repair` physically truncates the file to the
   // valid prefix (the live log); the rotated log is left untouched.
-  Status ReplayWal(const std::string& path, bool repair);
-  Status AppendRecord(std::string payload);
-  Status OpenWalForAppend();
-  Status CompactLocked();  // Compact() body; mutex_ already held.
-  Status RotateWalLocked();  // WAL rotation steps of CompactLocked.
+  Status ReplayWal(const std::string& path, bool repair)
+      NDV_REQUIRES(mutex_);
+  Status AppendRecord(std::string payload) NDV_REQUIRES(mutex_);
+  Status OpenWalForAppend() NDV_REQUIRES(mutex_);
+  Status CompactLocked() NDV_REQUIRES(mutex_);
+  Status RotateWalLocked() NDV_REQUIRES(mutex_);
 
   const DurableCatalogOptions options_;
-  mutable std::mutex mutex_;
-  StatsCatalog state_;
-  uint64_t epoch_ = 0;
-  int64_t records_since_snapshot_ = 0;
+  mutable Mutex mutex_;
+  StatsCatalog state_ NDV_GUARDED_BY(mutex_);
+  uint64_t epoch_ NDV_GUARDED_BY(mutex_) = 0;
+  int64_t records_since_snapshot_ NDV_GUARDED_BY(mutex_) = 0;
+  // Written only inside Open(), before the catalog is shared; const after.
   RecoveryInfo recovery_;
-  int wal_fd_ = -1;
+  int wal_fd_ NDV_GUARDED_BY(mutex_) = -1;
 };
 
 }  // namespace ndv

@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ndv {
 namespace {
@@ -13,12 +15,13 @@ namespace {
 // paths (append/fsync/rename), where a mutex acquisition is noise next to
 // the I/O the site brackets.
 struct Registry {
-  std::mutex mutex;
-  std::string armed_site;   // empty = disarmed
-  int64_t armed_hit = 0;    // 1-based execution that crashes
+  Mutex mutex;
+  std::string armed_site NDV_GUARDED_BY(mutex);  // empty = disarmed
+  int64_t armed_hit NDV_GUARDED_BY(mutex) = 0;  // 1-based crashing execution
   // Execution counts in first-execution order (sites number in the tens,
   // so a vector scan beats a map for both code size and locality).
-  std::vector<std::pair<std::string, int64_t>> counts;
+  std::vector<std::pair<std::string, int64_t>> counts
+      NDV_GUARDED_BY(mutex);
 };
 
 Registry& GetRegistry() {
@@ -36,7 +39,7 @@ void CrashPointReached(const char* site) {
   Registry& registry = GetRegistry();
   bool crash = false;
   {
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     int64_t* count = nullptr;
     for (auto& [name, hits] : registry.counts) {
       if (name == site) {
@@ -71,7 +74,7 @@ void CrashPointReached(const char* site) {
 
 void ArmCrashPoint(std::string site, int64_t hit) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   if (hit < 1 || site.empty()) {
     registry.armed_site.clear();
     registry.armed_hit = 0;
@@ -100,7 +103,7 @@ bool ArmCrashPointFromEnv() {
 
 void ResetCrashPoints() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   registry.armed_site.clear();
   registry.armed_hit = 0;
   registry.counts.clear();
@@ -113,7 +116,7 @@ void EnableCrashPointCounting() {
 
 int64_t CrashPointHits(std::string_view site) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   for (const auto& [name, hits] : registry.counts) {
     if (name == site) return hits;
   }
@@ -122,7 +125,7 @@ int64_t CrashPointHits(std::string_view site) {
 
 std::vector<std::pair<std::string, int64_t>> CrashPointCounts() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   return registry.counts;
 }
 

@@ -1,0 +1,83 @@
+#ifndef NDV_COMMON_THREAD_ANNOTATIONS_H_
+#define NDV_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety capability annotations (DESIGN.md §16).
+//
+// These macros attach lock-discipline contracts to types, data members, and
+// functions; Clang's -Wthread-safety analysis then proves at compile time
+// that every access to guarded state happens with the right mutex held —
+// the static complement to the dynamic TSan CI job, which only covers the
+// interleavings the test suite happens to execute.
+//
+// Under Clang the macros expand to the capability attributes; under GCC (or
+// any compiler without the attributes) they expand to nothing, so the
+// annotated tree builds identically everywhere and the analysis runs
+// wherever Clang does. CI builds the whole tree with
+// -Wthread-safety -Werror on a pinned Clang, so a lock-discipline
+// regression fails the build rather than waiting for a lucky TSan
+// interleaving.
+//
+// Vocabulary (mirrors the upstream capability attribute set):
+//
+//   NDV_CAPABILITY("mutex")   the class IS a lockable capability
+//   NDV_SCOPED_CAPABILITY     RAII class acquiring in ctor, releasing in dtor
+//   NDV_GUARDED_BY(mu)        data member readable/writable only under mu
+//   NDV_PT_GUARDED_BY(mu)     pointee (not the pointer) guarded by mu
+//   NDV_REQUIRES(mu)          caller must already hold mu
+//   NDV_ACQUIRE(mu)           function acquires mu and does not release it
+//   NDV_RELEASE(mu)           function releases mu
+//   NDV_TRY_ACQUIRE(b, mu)    acquires mu iff the function returns b
+//   NDV_EXCLUDES(mu)          caller must NOT hold mu (deadlock guard)
+//   NDV_ACQUIRED_BEFORE(mu)   lock-ordering declaration on a mutex member
+//   NDV_ACQUIRED_AFTER(mu)    the other direction
+//   NDV_ASSERT_CAPABILITY(mu) runtime-checked "mu is held here"
+//   NDV_RETURN_CAPABILITY(mu) getter returning a reference to mu itself
+//   NDV_NO_THREAD_SAFETY_ANALYSIS  opt one function out (init/teardown
+//                                  code whose discipline the analysis
+//                                  cannot express; use sparingly, with a
+//                                  comment saying why)
+
+#if defined(__clang__)
+#define NDV_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define NDV_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op outside Clang
+#endif
+
+#define NDV_CAPABILITY(x) NDV_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define NDV_SCOPED_CAPABILITY NDV_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define NDV_GUARDED_BY(x) NDV_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define NDV_PT_GUARDED_BY(x) NDV_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define NDV_ACQUIRED_BEFORE(...) \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define NDV_ACQUIRED_AFTER(...) \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define NDV_REQUIRES(...) \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define NDV_ACQUIRE(...) \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define NDV_RELEASE(...) \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define NDV_TRY_ACQUIRE(...) \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define NDV_EXCLUDES(...) \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define NDV_ASSERT_CAPABILITY(x) \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define NDV_RETURN_CAPABILITY(x) NDV_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define NDV_NO_THREAD_SAFETY_ANALYSIS \
+  NDV_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // NDV_COMMON_THREAD_ANNOTATIONS_H_

@@ -26,29 +26,29 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   NDV_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     NDV_CHECK_MSG(!shutting_down_, "Submit after shutdown");
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) all_done_.Wait(mutex_);
     error = first_error_;
     first_error_ = nullptr;  // Leave the pool reusable.
   }
@@ -62,9 +62,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -82,13 +81,13 @@ void ThreadPool::WorkerLoop() {
       error = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       --in_flight_;
       // Every decrement pairs with a Submit-side increment; going negative
       // means a task was double-counted and Wait() can no longer be trusted.
       NDV_CHECK_GE(in_flight_, 0);
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -106,10 +105,10 @@ namespace {
 // own chunks, so concurrent callers sharing the pool neither block on each
 // other's work nor steal each other's exceptions.
 struct ParallelForBatch {
-  std::mutex mutex;
-  std::condition_variable done;
-  int64_t remaining = 0;
-  std::exception_ptr first_error;
+  Mutex mutex;
+  CondVar done;
+  int64_t remaining NDV_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error NDV_GUARDED_BY(mutex);
 };
 
 }  // namespace
@@ -128,7 +127,10 @@ void ParallelFor(int64_t count, int num_threads,
   ThreadPool& pool = SharedThreadPool();
   const int64_t chunks = std::min<int64_t>(count, num_threads);
   ParallelForBatch batch;
-  batch.remaining = chunks;
+  {
+    MutexLock lock(batch.mutex);
+    batch.remaining = chunks;
+  }
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t begin = count * c / chunks;
     const int64_t end = count * (c + 1) / chunks;
@@ -139,18 +141,18 @@ void ParallelFor(int64_t count, int num_threads,
       } catch (...) {
         error = std::current_exception();
       }
-      // notify_all while holding the lock: the waiter cannot return (and
+      // NotifyAll while holding the lock: the waiter cannot return (and
       // destroy `batch`) until this worker releases the mutex.
-      std::lock_guard<std::mutex> lock(batch.mutex);
+      MutexLock lock(batch.mutex);
       if (error && !batch.first_error) batch.first_error = error;
-      if (--batch.remaining == 0) batch.done.notify_all();
+      if (--batch.remaining == 0) batch.done.NotifyAll();
     });
   }
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(batch.mutex);
-    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+    MutexLock lock(batch.mutex);
+    while (batch.remaining != 0) batch.done.Wait(batch.mutex);
     error = batch.first_error;
   }
   if (error) std::rethrow_exception(error);

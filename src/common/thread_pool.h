@@ -1,14 +1,15 @@
 #ifndef NDV_COMMON_THREAD_POOL_H_
 #define NDV_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ndv {
 
@@ -55,13 +56,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  int64_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
-  std::exception_ptr first_error_;  // guarded by mutex_
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ NDV_GUARDED_BY(mutex_);
+  // queued + currently executing
+  int64_t in_flight_ NDV_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ NDV_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ NDV_GUARDED_BY(mutex_);
+  // Written only by the constructor, before any worker can observe it;
+  // joined by the destructor after every worker has exited.
   std::vector<std::thread> workers_;
 };
 

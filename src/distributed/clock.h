@@ -2,7 +2,9 @@
 #define NDV_DISTRIBUTED_CLOCK_H_
 
 #include <cstdint>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ndv {
 
@@ -32,19 +34,19 @@ class VirtualClock final : public Clock {
  public:
   explicit VirtualClock(int64_t start_millis = 0) : now_(start_millis) {}
 
-  int64_t NowMillis() override {
-    std::lock_guard<std::mutex> lock(mutex_);
+  int64_t NowMillis() NDV_EXCLUDES(mutex_) override {
+    MutexLock lock(mutex_);
     return now_;
   }
 
-  void SleepMillis(int64_t millis) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void SleepMillis(int64_t millis) NDV_EXCLUDES(mutex_) override {
+    MutexLock lock(mutex_);
     if (millis > 0) now_ += millis;
   }
 
  private:
-  std::mutex mutex_;
-  int64_t now_;
+  Mutex mutex_;
+  int64_t now_ NDV_GUARDED_BY(mutex_);
 };
 
 }  // namespace ndv

@@ -27,14 +27,16 @@ using ReadSomeFn = std::function<ssize_t(char* data, size_t size)>;
 // Writes all of `bytes`, retrying EINTR and continuing across short
 // writes. A persistent error (EPIPE, ECONNRESET, ...) or a write that
 // stops making progress is Unavailable, naming the progress made.
-Status SendAllBytes(std::string_view bytes, const WriteSomeFn& write_some);
+[[nodiscard]] Status SendAllBytes(std::string_view bytes,
+                                  const WriteSomeFn& write_some);
 
 // Reads one chunk into *buffer, retrying EINTR. EOF is typed by where the
 // stream stood: with an empty buffer it is a clean close between frames
 // (Unavailable — the peer simply hung up); with buffered bytes the peer
 // vanished mid-frame (DataLoss naming the partial-frame bytes, because
 // the tail of the stream is unrecoverable on this connection).
-Status ReadIntoBuffer(std::string* buffer, const ReadSomeFn& read_some);
+[[nodiscard]] Status ReadIntoBuffer(std::string* buffer,
+                                    const ReadSomeFn& read_some);
 
 }  // namespace internal
 
@@ -51,7 +53,8 @@ class SocketServer {
  public:
   // Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral port
   // (read it back from port()).
-  static StatusOr<std::unique_ptr<SocketServer>> Listen(uint16_t port);
+  [[nodiscard]] static StatusOr<std::unique_ptr<SocketServer>> Listen(
+      uint16_t port);
 
   ~SocketServer();
   SocketServer(const SocketServer&) = delete;
@@ -61,7 +64,7 @@ class SocketServer {
 
   // Blocks for the next client; Unavailable once Shutdown() has closed the
   // listening socket.
-  StatusOr<std::unique_ptr<Transport>> Accept();
+  [[nodiscard]] StatusOr<std::unique_ptr<Transport>> Accept();
 
   // Closes the listening socket, unblocking Accept(). Idempotent;
   // thread-safe against a concurrent Accept().
@@ -75,9 +78,8 @@ class SocketServer {
 
 // Connects to a server; `timeout_ms` bounds the connect itself (<= 0 means
 // the OS default).
-StatusOr<std::unique_ptr<Transport>> ConnectSocket(const std::string& host,
-                                                   uint16_t port,
-                                                   int64_t timeout_ms = 5000);
+[[nodiscard]] StatusOr<std::unique_ptr<Transport>> ConnectSocket(
+    const std::string& host, uint16_t port, int64_t timeout_ms = 5000);
 
 }  // namespace ndv
 

@@ -30,22 +30,28 @@ StatsService::StatsService(std::shared_ptr<const Table> table,
 
   // Warm one incremental tracker per column with the table's current rows,
   // so drift fractions are measured against the real table size and the
-  // tracker's reservoir is a live uniform sample of the column.
-  std::vector<uint64_t> hashes;
-  for (int64_t c = 0; c < table_->NumColumns(); ++c) {
-    const Column& column = table_->column(c);
-    auto tracker = std::make_unique<IncrementalColumnTracker>(
-        options_.tracker_reservoir,
-        options_.analyze.seed + static_cast<uint64_t>(c) + 1);
-    column.PrepareFullScan();
-    for (int64_t begin = 0; begin < column.size();
-         begin += kWarmupChunkRows) {
-      const int64_t end = std::min(begin + kWarmupChunkRows, column.size());
-      hashes.resize(static_cast<size_t>(end - begin));
-      column.HashSlice(begin, end, hashes.data());
-      for (uint64_t hash : hashes) tracker->Insert(hash);
+  // tracker's reservoir is a live uniform sample of the column. The
+  // constructor is single-threaded, but trackers_ is guarded state: hold
+  // its lock so the warm-up fill lives inside the declared capability
+  // (this was an unlocked write before the annotations landed).
+  {
+    MutexLock lock(tracker_mutex_);
+    std::vector<uint64_t> hashes;
+    for (int64_t c = 0; c < table_->NumColumns(); ++c) {
+      const Column& column = table_->column(c);
+      auto tracker = std::make_unique<IncrementalColumnTracker>(
+          options_.tracker_reservoir,
+          options_.analyze.seed + static_cast<uint64_t>(c) + 1);
+      column.PrepareFullScan();
+      for (int64_t begin = 0; begin < column.size();
+           begin += kWarmupChunkRows) {
+        const int64_t end = std::min(begin + kWarmupChunkRows, column.size());
+        hashes.resize(static_cast<size_t>(end - begin));
+        column.HashSlice(begin, end, hashes.data());
+        for (uint64_t hash : hashes) tracker->Insert(hash);
+      }
+      trackers_.emplace(table_->column_name(c), std::move(tracker));
     }
-    trackers_.emplace(table_->column_name(c), std::move(tracker));
   }
 
   if (options_.durable != nullptr && options_.durable->epoch() > 0) {
@@ -54,7 +60,7 @@ StatsService::StatsService(std::shared_ptr<const Table> table,
     // skip the table scan entirely. The recovered stats were fresh when
     // journaled, so they reset the drift baseline like a publication.
     catalog_.PublishAt(options_.durable->state(), options_.durable->epoch());
-    std::lock_guard<std::mutex> lock(tracker_mutex_);
+    MutexLock lock(tracker_mutex_);
     for (auto& [name, tracker] : trackers_) tracker->MarkFresh();
   } else {
     // First publication: the service is queryable at epoch 1 from the
@@ -79,13 +85,13 @@ StatusOr<uint64_t> StatsService::ReanalyzeAndPublish() {
     epoch = catalog_.Publish(std::move(fresh));
   }
   // The fresh publication resets every column's drift baseline.
-  std::lock_guard<std::mutex> lock(tracker_mutex_);
+  MutexLock lock(tracker_mutex_);
   for (auto& [name, tracker] : trackers_) tracker->MarkFresh();
   return epoch;
 }
 
 StatusOr<bool> StatsService::ColumnIsStale(const ColumnStats& published) {
-  std::lock_guard<std::mutex> lock(tracker_mutex_);
+  MutexLock lock(tracker_mutex_);
   const auto it = trackers_.find(published.column_name);
   if (it == trackers_.end()) return false;  // No insert feed: trust cache.
   IncrementalColumnTracker& tracker = *it->second;
@@ -141,7 +147,7 @@ Message StatsService::HandleGetStats(const Message& request) {
 Message StatsService::HandleAnalyze(const Message& request) {
   // One table scan per herd: concurrent ANALYZE probes queue here, and all
   // but the first see fresh statistics and turn into cache hits.
-  std::lock_guard<std::mutex> analyze_lock(analyze_mutex_);
+  MutexLock analyze_lock(analyze_mutex_);
   Message reply;
   reply.type = MessageType::kAnalyzeReply;
   reply.request_id = request.request_id;
@@ -220,7 +226,7 @@ Message StatsService::Handle(const Message& request) {
 
 Message StatsService::Submit(const Message& request) {
   {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     if (inflight_ >= options_.max_inflight) {
       Message reply = ErrorMessage(UnavailableError(
           "overloaded: %d requests in flight (admission bound %d); retry "
@@ -233,7 +239,7 @@ Message StatsService::Submit(const Message& request) {
   }
   Message reply = Handle(request);
   {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     --inflight_;
   }
   return reply;
@@ -241,14 +247,14 @@ Message StatsService::Submit(const Message& request) {
 
 void StatsService::ObserveInserts(const std::string& column,
                                   const std::vector<uint64_t>& hashes) {
-  std::lock_guard<std::mutex> lock(tracker_mutex_);
+  MutexLock lock(tracker_mutex_);
   const auto it = trackers_.find(column);
   if (it == trackers_.end()) return;
   for (uint64_t hash : hashes) it->second->Insert(hash);
 }
 
 int StatsService::inflight() const {
-  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  MutexLock lock(inflight_mutex_);
   return inflight_;
 }
 

@@ -4,13 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/concurrent_catalog.h"
 #include "catalog/durable_catalog.h"
 #include "catalog/incremental_stats.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "distributed/clock.h"
 #include "distributed/retry.h"
 #include "serve/protocol.h"
@@ -81,7 +82,8 @@ class StatsService {
   // `column` since the last ANALYZE. Drives the staleness rule; unknown
   // columns are ignored (the next full ANALYZE will pick them up).
   void ObserveInserts(const std::string& column,
-                      const std::vector<uint64_t>& hashes);
+                      const std::vector<uint64_t>& hashes)
+      NDV_EXCLUDES(tracker_mutex_);
 
   // Read-side snapshot access (also used by benchmarks/tests).
   std::shared_ptr<const CatalogEpoch> Snapshot() const {
@@ -90,38 +92,44 @@ class StatsService {
   uint64_t epoch() const { return catalog_.epoch(); }
 
   // Current number of executing requests (admission gauge).
-  int inflight() const;
+  int inflight() const NDV_EXCLUDES(inflight_mutex_);
 
  private:
-  Message HandleGetStats(const Message& request);
-  Message HandleAnalyze(const Message& request);
+  Message HandleGetStats(const Message& request)
+      NDV_EXCLUDES(tracker_mutex_);
+  Message HandleAnalyze(const Message& request)
+      NDV_EXCLUDES(analyze_mutex_, tracker_mutex_);
   Message HandleList();
   // Staleness of one column under the published epoch; OK result pairs the
   // verdict with the rule that fired (for logs/tests).
-  StatusOr<bool> ColumnIsStale(const ColumnStats& published);
+  StatusOr<bool> ColumnIsStale(const ColumnStats& published)
+      NDV_EXCLUDES(tracker_mutex_);
   // Runs AnalyzeTable, journals the result (when durability is on), and
   // publishes it; returns the new epoch. Fails only when the journal
   // append fails — in which case nothing was published and no reader ever
   // observes the unacknowledged statistics.
-  StatusOr<uint64_t> ReanalyzeAndPublish();
+  StatusOr<uint64_t> ReanalyzeAndPublish() NDV_EXCLUDES(tracker_mutex_);
 
   const std::shared_ptr<const Table> table_;
   const StatsServiceOptions options_;
   Clock& clock_;
   ConcurrentStatsCatalog catalog_;
 
+  // Serializes re-ANALYZE work so a thundering herd of stale probes runs
+  // one table scan, not N. Ordered before tracker_mutex_: the analyze path
+  // holds it across ReanalyzeAndPublish, which takes tracker_mutex_ to
+  // reset drift baselines.
+  Mutex analyze_mutex_ NDV_ACQUIRED_BEFORE(tracker_mutex_);
+
   // Insert trackers, one per column; guarded by tracker_mutex_ (the
   // serving hot path only reads row counters and small reservoirs).
-  mutable std::mutex tracker_mutex_;
-  std::map<std::string, std::unique_ptr<IncrementalColumnTracker>> trackers_;
+  mutable Mutex tracker_mutex_;
+  std::map<std::string, std::unique_ptr<IncrementalColumnTracker>> trackers_
+      NDV_GUARDED_BY(tracker_mutex_);
 
   // Admission control.
-  mutable std::mutex inflight_mutex_;
-  int inflight_ = 0;
-
-  // Serializes re-ANALYZE work so a thundering herd of stale probes runs
-  // one table scan, not N.
-  std::mutex analyze_mutex_;
+  mutable Mutex inflight_mutex_;
+  int inflight_ NDV_GUARDED_BY(inflight_mutex_) = 0;
 };
 
 // Serves decoded frames from `transport` until the peer closes (Receive

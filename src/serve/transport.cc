@@ -12,9 +12,9 @@ class InProcessConnection::Queue {
  public:
   explicit Queue(size_t capacity) : capacity_(capacity) {}
 
-  Status Push(std::string payload) {
+  Status Push(std::string payload) NDV_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return UnavailableError("connection closed");
       if (frames_.size() >= capacity_) {
         return UnavailableError(
@@ -23,19 +23,24 @@ class InProcessConnection::Queue {
       }
       frames_.push_back(std::move(payload));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return Status::Ok();
   }
 
-  StatusOr<std::string> Pop(int64_t timeout_ms) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto has_work = [this] { return closed_ || !frames_.empty(); };
+  StatusOr<std::string> Pop(int64_t timeout_ms) NDV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (timeout_ms <= 0) {
-      ready_.wait(lock, has_work);
-    } else if (!ready_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                                has_work)) {
-      return DeadlineExceededError("no frame within %lld ms",
-                                   static_cast<long long>(timeout_ms));
+      while (!closed_ && frames_.empty()) ready_.Wait(mutex_);
+    } else {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(timeout_ms);
+      while (!closed_ && frames_.empty()) {
+        if (ready_.WaitUntil(mutex_, deadline) && frames_.empty() &&
+            !closed_) {
+          return DeadlineExceededError("no frame within %lld ms",
+                                       static_cast<long long>(timeout_ms));
+        }
+      }
     }
     if (frames_.empty()) {
       // Only reachable when closed_ is set: drained and hung up.
@@ -46,20 +51,20 @@ class InProcessConnection::Queue {
     return payload;
   }
 
-  void Close() {
+  void Close() NDV_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
   }
 
  private:
   const size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<std::string> frames_;
-  bool closed_ = false;
+  Mutex mutex_;
+  CondVar ready_;
+  std::deque<std::string> frames_ NDV_GUARDED_BY(mutex_);
+  bool closed_ NDV_GUARDED_BY(mutex_) = false;
 };
 
 class InProcessConnection::Endpoint final : public Transport {
@@ -99,7 +104,7 @@ void InProcessConnection::Close() {
 InProcessConnection::~InProcessConnection() { Close(); }
 
 void FaultyTransport::SetFault(int64_t frame_index, TransportFault fault) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   faults_.emplace_back(frame_index, fault);
 }
 
@@ -110,7 +115,7 @@ StatusOr<std::string> FaultyTransport::Receive(int64_t timeout_ms) {
 
     TransportFault fault;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       const int64_t index = received_++;
       for (auto it = faults_.begin(); it != faults_.end(); ++it) {
         if (it->first == index) {

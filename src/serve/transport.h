@@ -1,14 +1,15 @@
 #ifndef NDV_SERVE_TRANSPORT_H_
 #define NDV_SERVE_TRANSPORT_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "distributed/clock.h"
 
 namespace ndv {
@@ -27,13 +28,15 @@ class Transport {
 
   // Enqueues/writes one frame payload. Non-blocking for the in-process
   // transport: a full bounded queue is an Unavailable error (backpressure),
-  // not a stall.
-  virtual Status Send(std::string payload) = 0;
+  // not a stall. Discarding the Status drops the backpressure signal, so
+  // callers must consume it ([[nodiscard]] via Status itself; restated
+  // here for the interface contract).
+  [[nodiscard]] virtual Status Send(std::string payload) = 0;
 
   // Blocks up to `timeout_ms` for the next inbound frame payload.
   // timeout_ms <= 0 waits forever. DeadlineExceeded on timeout,
   // Unavailable once the peer has closed and the queue is drained.
-  virtual StatusOr<std::string> Receive(int64_t timeout_ms) = 0;
+  [[nodiscard]] virtual StatusOr<std::string> Receive(int64_t timeout_ms) = 0;
 };
 
 // An in-process connection: a pair of endpoints joined by two bounded
@@ -85,17 +88,22 @@ class FaultyTransport final : public Transport {
       : wrapped_(wrapped), clock_(clock) {}
 
   // Applies `fault` to the `frame_index`-th received frame.
-  void SetFault(int64_t frame_index, TransportFault fault);
+  void SetFault(int64_t frame_index, TransportFault fault)
+      NDV_EXCLUDES(mutex_);
 
-  Status Send(std::string payload) override { return wrapped_.Send(std::move(payload)); }
-  StatusOr<std::string> Receive(int64_t timeout_ms) override;
+  [[nodiscard]] Status Send(std::string payload) override {
+    return wrapped_.Send(std::move(payload));
+  }
+  [[nodiscard]] StatusOr<std::string> Receive(int64_t timeout_ms)
+      NDV_EXCLUDES(mutex_) override;
 
  private:
   Transport& wrapped_;
   Clock& clock_;
-  std::mutex mutex_;
-  int64_t received_ = 0;
-  std::deque<std::pair<int64_t, TransportFault>> faults_;
+  Mutex mutex_;
+  int64_t received_ NDV_GUARDED_BY(mutex_) = 0;
+  std::deque<std::pair<int64_t, TransportFault>> faults_
+      NDV_GUARDED_BY(mutex_);
 };
 
 }  // namespace ndv

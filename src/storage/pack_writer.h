@@ -63,7 +63,7 @@ class PackWriter {
  public:
   // Streams to `path` via a temp file; the destination appears (with both
   // checksums intact) only at a successful Finalize.
-  static StatusOr<std::unique_ptr<PackWriter>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<PackWriter>> Create(
       const std::string& path, const PackWriteOptions& options = {});
 
   // Streams into `*out` (cleared first). Byte-identical to the file path:
@@ -79,22 +79,22 @@ class PackWriter {
 
   // Begins the next column. Columns are written strictly one at a time:
   // StartColumn, appends of the matching type, FinishColumn.
-  Status StartColumn(std::string_view name, ColumnType type);
+  [[nodiscard]] Status StartColumn(std::string_view name, ColumnType type);
 
   // Append rows to the open column. Any chunking yields the same file —
   // the writer re-blocks internally at block_rows.
-  Status AppendInt64s(std::span<const int64_t> values);
-  Status AppendDoubles(std::span<const double> values);
-  Status AppendString(std::string_view value);
+  [[nodiscard]] Status AppendInt64s(std::span<const int64_t> values);
+  [[nodiscard]] Status AppendDoubles(std::span<const double> values);
+  [[nodiscard]] Status AppendString(std::string_view value);
 
   // Closes the open column (flushes its partial block + dictionary).
   // Every column must end with the same row count; the first finished
   // column fixes it.
-  Status FinishColumn();
+  [[nodiscard]] Status FinishColumn();
 
   // Writes the directory, trailer checksum, and header, then (file mode)
   // fsyncs and renames into place. No appends may follow.
-  Status Finalize();
+  [[nodiscard]] Status Finalize();
 
  private:
   class Sink;
@@ -158,6 +158,9 @@ class PackWriter {
       return std::hash<std::string_view>{}(s);
     }
   };
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): interning map is rebuilt
+  // per column and never serialized, so iteration order cannot leak into
+  // file bytes; transparent lookup needs the std container here.
   std::unordered_map<std::string, int32_t, StringHash, std::equal_to<>>
       dict_index_;
   std::vector<std::string> dict_entries_;
@@ -167,13 +170,15 @@ class PackWriter {
 // Accepts heap, mapped (v1), and blocked (v2) columns, so repacking never
 // materializes a full column. Caller brackets with StartColumn /
 // FinishColumn.
-Status AppendTableColumn(PackWriter& writer, const Table& table, int64_t c);
+[[nodiscard]] Status AppendTableColumn(PackWriter& writer, const Table& table,
+                                       int64_t c);
 
 // One-call conveniences over the streaming writer.
 std::string SerializePackV2(const Table& table,
                             const PackWriteOptions& options = {});
-Status WritePackFileV2(const Table& table, const std::string& path,
-                       const PackWriteOptions& options = {});
+[[nodiscard]] Status WritePackFileV2(const Table& table,
+                                     const std::string& path,
+                                     const PackWriteOptions& options = {});
 
 }  // namespace ndv
 

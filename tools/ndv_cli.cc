@@ -42,7 +42,6 @@
 #include <iostream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -51,6 +50,7 @@
 
 #include "catalog/durable_catalog.h"
 #include "catalog/stats_catalog.h"
+#include "common/mutex.h"
 #include "core/all_estimators.h"
 #include "distributed/distributed_analyze.h"
 #include "core/bootstrap_interval.h"
@@ -553,14 +553,14 @@ int CmdServe(const Flags& flags) {
 
   // Thread-per-connection accept loop; every connection shares the one
   // service, whose snapshot reads and admission gate do the coordination.
-  std::mutex workers_mutex;
+  ndv::Mutex workers_mutex;
   std::vector<std::thread> workers;
   const auto accept_loop = [&] {
     for (;;) {
       auto accepted = (*server)->Accept();
       if (!accepted.ok()) return;  // Shutdown (or a fatal accept error).
       std::shared_ptr<ndv::Transport> transport(std::move(*accepted));
-      std::lock_guard<std::mutex> lock(workers_mutex);
+      ndv::MutexLock lock(workers_mutex);
       workers.emplace_back([transport, &service] {
         ndv::ServeConnection(*transport, service);
       });
@@ -577,7 +577,7 @@ int CmdServe(const Flags& flags) {
   (*server)->Shutdown();
   acceptor.join();
   {
-    std::lock_guard<std::mutex> lock(workers_mutex);
+    ndv::MutexLock lock(workers_mutex);
     for (std::thread& worker : workers) worker.join();
   }
   return result;
