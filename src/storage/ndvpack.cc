@@ -334,9 +334,13 @@ StatusOr<PackView> ParsePack(std::span<const uint8_t> bytes) {
   ByteReader header(bytes.subspan(kPackMagic.size()));
   uint32_t version, column_count;
   uint64_t row_count, directory_offset, directory_length;
-  NDV_CHECK(header.ReadU32(&version) && header.ReadU32(&column_count) &&
-            header.ReadU64(&row_count) && header.ReadU64(&directory_offset) &&
-            header.ReadU64(&directory_length));
+  // The cursor-advancing reads live outside the macro: a contract
+  // condition must be effect-free (ndv-check-macro-side-effects).
+  const bool header_complete =
+      header.ReadU32(&version) && header.ReadU32(&column_count) &&
+      header.ReadU64(&row_count) && header.ReadU64(&directory_offset) &&
+      header.ReadU64(&directory_length);
+  NDV_CHECK(header_complete);
   if (version != kPackVersion) {
     return InvalidArgumentError("unsupported pack version %u (have %u)",
                                 version, kPackVersion);

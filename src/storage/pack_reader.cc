@@ -105,10 +105,14 @@ StatusOr<PackV2Info> ParsePackV2(std::span<const uint8_t> bytes) {
   ByteReader header(bytes.subspan(kPackV2Magic.size()));
   uint32_t version, column_count;
   uint64_t row_count, block_rows_u64, directory_offset, directory_length;
-  NDV_CHECK(header.ReadU32(&version) && header.ReadU32(&column_count) &&
-            header.ReadU64(&row_count) && header.ReadU64(&block_rows_u64) &&
-            header.ReadU64(&directory_offset) &&
-            header.ReadU64(&directory_length));
+  // The cursor-advancing reads live outside the macro: a contract
+  // condition must be effect-free (ndv-check-macro-side-effects).
+  const bool header_complete =
+      header.ReadU32(&version) && header.ReadU32(&column_count) &&
+      header.ReadU64(&row_count) && header.ReadU64(&block_rows_u64) &&
+      header.ReadU64(&directory_offset) &&
+      header.ReadU64(&directory_length);
+  NDV_CHECK(header_complete);
   if (version != kPackV2Version) {
     return InvalidArgumentError("unsupported pack version %u (have %u)",
                                 version, kPackV2Version);
