@@ -35,6 +35,8 @@ std::unique_ptr<Int64Column> MakeScenarioB(int64_t n, int64_t k, Rng& rng) {
   NDV_CHECK(0 <= k && k < n);
   std::vector<int64_t> values(static_cast<size_t>(n), 1);
   // Choose k distinct rows for the singletons.
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): membership-only scratch set
+  // while placing singletons; values are written by row index.
   std::unordered_set<int64_t> rows;
   rows.reserve(static_cast<size_t>(k));
   int64_t next_value = 2;

@@ -55,6 +55,8 @@ class ProbedSetTracker {
   }
 
  private:
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): membership checks only
+  // (repeat-probe detection); never iterated, nothing serialized.
   std::unordered_set<int64_t> set_;
   size_t synced_ = 0;
 };
@@ -112,6 +114,8 @@ class NoveltyHunterProbe final : public ProbeStrategy {
 
  private:
   ProbedSetTracker tracker_;
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): membership checks only
+  // (hash-collision tracking); never iterated, nothing serialized.
   std::unordered_set<uint64_t> seen_hashes_;
   size_t hashes_synced_ = 0;
 };

@@ -57,6 +57,8 @@ std::unique_ptr<StringColumn> MakeStringColumn(
   // Build a dictionary of exactly `distinct` unique strings.
   std::vector<std::string> dictionary;
   dictionary.reserve(static_cast<size_t>(options.distinct));
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): dedupe-only scratch set; the
+  // dictionary vector carries the order, never set iteration.
   std::unordered_set<std::string> seen;
   seen.reserve(static_cast<size_t>(options.distinct));
   while (static_cast<int64_t>(dictionary.size()) < options.distinct) {

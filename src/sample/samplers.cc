@@ -24,6 +24,8 @@ std::vector<int64_t> SampleWithReplacement(int64_t n, int64_t r, Rng& rng) {
 std::vector<int64_t> SampleWithoutReplacementFloyd(int64_t n, int64_t r,
                                                    Rng& rng) {
   NDV_CHECK(0 <= r && r <= n);
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): membership-only scratch set;
+  // the output order comes from the rows vector, never from iteration.
   std::unordered_set<int64_t> chosen;
   chosen.reserve(static_cast<size_t>(r));
   std::vector<int64_t> rows;
@@ -49,6 +51,8 @@ std::vector<int64_t> SampleWithoutReplacementFisherYates(int64_t n, int64_t r,
   NDV_CHECK(0 <= r && r <= n);
   // Sparse Fisher-Yates: `displaced[i]` holds the value currently sitting at
   // position i when it differs from i itself.
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): point lookups only; output
+  // order is the draw order, never map iteration order.
   std::unordered_map<int64_t, int64_t> displaced;
   displaced.reserve(static_cast<size_t>(2 * r));
   std::vector<int64_t> rows;

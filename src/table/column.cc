@@ -86,6 +86,8 @@ void StringColumn::HashSlice(int64_t begin, int64_t end, uint64_t* out) const {
 }
 
 StringColumn::StringColumn(const std::vector<std::string>& values) {
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): interning map, lookups only;
+  // codes are assigned in input order, never map iteration order.
   std::unordered_map<std::string, int32_t> index;
   index.reserve(values.size());
   codes_.reserve(values.size());

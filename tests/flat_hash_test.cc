@@ -51,6 +51,8 @@ TEST(FlatHashSetTest, ZeroAndMaxKeys) {
 TEST(FlatHashSetTest, RandomWorkloadMatchesUnorderedSetOracle) {
   Rng rng(7);
   FlatHashSet set;
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): independent oracle —
+  // the test differentially checks FlatHash against the std container.
   std::unordered_set<uint64_t> oracle;
   for (int i = 0; i < 20000; ++i) {
     // Small key space forces plenty of duplicates.
@@ -85,6 +87,8 @@ TEST(FlatHashSetTest, AdversarialKeysSharingLowBits) {
 
 TEST(FlatHashSetTest, GrowthAcrossManyResizesKeepsEverything) {
   FlatHashSet set;
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): independent oracle —
+  // the test differentially checks FlatHash against the std container.
   std::unordered_set<uint64_t> oracle;
   Rng rng(11);
   for (int i = 0; i < 300000; ++i) {
@@ -105,6 +109,8 @@ TEST(FlatHashSetTest, GrowthAcrossManyResizesKeepsEverything) {
 TEST(FlatHashSetTest, MergeFromIsSetUnion) {
   FlatHashSet a;
   FlatHashSet b;
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): independent oracle —
+  // the test differentially checks FlatHash against the std container.
   std::unordered_set<uint64_t> oracle;
   Rng rng(13);
   for (int i = 0; i < 5000; ++i) {
@@ -145,6 +151,8 @@ TEST(FlatHashSetTest, ClearResets) {
 TEST(FlatHashCounterTest, CountsMatchUnorderedMapOracle) {
   Rng rng(17);
   FlatHashCounter counter;
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): independent oracle —
+  // the test differentially checks FlatHash against the std container.
   std::unordered_map<uint64_t, int64_t> oracle;
   for (int i = 0; i < 50000; ++i) {
     const uint64_t key = rng.NextBounded(2048) * 0xc4ceb9fe1a85ec53ULL;
@@ -180,6 +188,8 @@ TEST(FlatHashCounterTest, ZeroAndMaxKeysCount) {
 
 TEST(FlatHashCounterTest, AdversarialKeysSharingLowBits) {
   FlatHashCounter counter;
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): independent oracle —
+  // the test differentially checks FlatHash against the std container.
   std::unordered_map<uint64_t, int64_t> oracle;
   for (uint64_t i = 1; i <= 1500; ++i) {
     const uint64_t key = i << 40;
@@ -195,6 +205,8 @@ TEST(FlatHashCounterTest, AdversarialKeysSharingLowBits) {
 
 TEST(FlatHashCounterTest, GrowthAcrossManyResizesPreservesCounts) {
   FlatHashCounter counter;
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): independent oracle —
+  // the test differentially checks FlatHash against the std container.
   std::unordered_map<uint64_t, int64_t> oracle;
   Rng rng(23);
   for (int i = 0; i < 200000; ++i) {

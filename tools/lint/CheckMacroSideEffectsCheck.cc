@@ -1,0 +1,108 @@
+#include "CheckMacroSideEffectsCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ndv {
+namespace {
+
+// The side-effect vocabulary of bugprone-assert-side-effect, minus free
+// functions: mutation operators, allocation, throw, and non-const member
+// calls.
+AST_MATCHER(Expr, ndvHasSideEffect) {
+  const Expr *E = &Node;
+  if (const auto *Op = dyn_cast<UnaryOperator>(E)) {
+    const UnaryOperator::Opcode OC = Op->getOpcode();
+    return OC == UO_PostInc || OC == UO_PostDec || OC == UO_PreInc ||
+           OC == UO_PreDec;
+  }
+  if (const auto *Op = dyn_cast<BinaryOperator>(E)) {
+    return Op->isAssignmentOp();
+  }
+  if (const auto *OpCall = dyn_cast<CXXOperatorCallExpr>(E)) {
+    switch (OpCall->getOperator()) {
+      case OO_Equal:
+      case OO_PlusPlus:
+      case OO_MinusMinus:
+      case OO_PlusEqual:
+      case OO_MinusEqual:
+      case OO_StarEqual:
+      case OO_SlashEqual:
+      case OO_PercentEqual:
+      case OO_AmpEqual:
+      case OO_PipeEqual:
+      case OO_CaretEqual:
+      case OO_LessLessEqual:
+      case OO_GreaterGreaterEqual:
+        return true;
+      default:
+        return false;
+    }
+  }
+  if (isa<CXXNewExpr>(E) || isa<CXXDeleteExpr>(E) || isa<CXXThrowExpr>(E)) {
+    return true;
+  }
+  if (const auto *MemberCall = dyn_cast<CXXMemberCallExpr>(E)) {
+    const auto *Method =
+        dyn_cast_or_null<CXXMethodDecl>(MemberCall->getDirectCallee());
+    return Method != nullptr && !Method->isConst();
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckMacroSideEffectsCheck::registerMatchers(MatchFinder *Finder) {
+  auto WithSideEffect =
+      anyOf(expr(ndvHasSideEffect()),
+            hasDescendant(expr(ndvHasSideEffect())));
+
+  // Plain NDV_CHECK / NDV_CHECK_MSG / NDV_DCHECK expand to
+  // `if (!(condition)) ...` — the condition carries the argument.
+  Finder->addMatcher(ifStmt(hasCondition(WithSideEffect)).bind("cond"),
+                     this);
+  // NDV_CHECK_EQ and the other comparison forms bind each operand first:
+  // `auto&& ndv_chk_lhs = (lhs);` — operand side effects sit in the
+  // DeclStmt initializer, never reaching the if-condition.
+  Finder->addMatcher(varDecl(matchesName("::ndv_chk_"),
+                             hasInitializer(WithSideEffect))
+                         .bind("operand"),
+                     this);
+}
+
+void CheckMacroSideEffectsCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  if (const auto *Cond = Result.Nodes.getNodeAs<IfStmt>("cond")) {
+    Loc = Cond->getBeginLoc();
+  } else if (const auto *Operand =
+                 Result.Nodes.getNodeAs<VarDecl>("operand")) {
+    Loc = Operand->getBeginLoc();
+  } else {
+    return;
+  }
+
+  // Only diagnose when the matched node was produced by one of the
+  // contract macros: walk the macro expansion stack looking for the
+  // NDV_CHECK / NDV_DCHECK name (AssertSideEffectCheck's walk).
+  const SourceManager &SM = *Result.SourceManager;
+  while (Loc.isValid() && Loc.isMacroID()) {
+    const StringRef MacroName =
+        Lexer::getImmediateMacroName(Loc, SM, getLangOpts());
+    if (MacroName.starts_with("NDV_CHECK") ||
+        MacroName.starts_with("NDV_DCHECK")) {
+      diag(SM.getExpansionLoc(Loc),
+           "%0 argument has a side effect; NDV_DCHECK conditions are never "
+           "evaluated in Release builds, so contract-macro arguments must "
+           "be effect-free")
+          << MacroName;
+      return;
+    }
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+}
+
+}  // namespace clang::tidy::ndv

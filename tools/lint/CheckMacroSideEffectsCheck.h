@@ -1,0 +1,37 @@
+#ifndef NDV_TOOLS_LINT_CHECK_MACRO_SIDE_EFFECTS_CHECK_H_
+#define NDV_TOOLS_LINT_CHECK_MACRO_SIDE_EFFECTS_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::ndv {
+
+// ndv-check-macro-side-effects: flags NDV_CHECK* / NDV_DCHECK* arguments
+// with side effects (assignment, ++/--, new/delete/throw, non-const
+// member calls). A DCHECK condition is never evaluated in Release builds
+// (common/check.h parses it behind `if (false)`), so a side effect there
+// silently changes program behavior between build types; CHECK conditions
+// stay evaluated but the same discipline keeps the two families
+// interchangeable.
+//
+// The comparison forms (NDV_CHECK_EQ and friends) bind their operands via
+// `auto&& ndv_chk_lhs = (lhs);`, so operand side effects live in DeclStmt
+// initializers rather than the if-condition — the check matches both
+// shapes. Free-function calls are deliberately NOT treated as side
+// effects (FileExists(...) and similar predicates are routine CHECK
+// arguments); non-const member calls are, mirroring
+// bugprone-assert-side-effect's conservative line.
+class CheckMacroSideEffectsCheck : public ClangTidyCheck {
+ public:
+  CheckMacroSideEffectsCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::ndv
+
+#endif  // NDV_TOOLS_LINT_CHECK_MACRO_SIDE_EFFECTS_CHECK_H_

@@ -1,0 +1,51 @@
+#include "GuardedReturnCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ndv {
+
+void GuardedReturnCheck::registerMatchers(MatchFinder *Finder) {
+  auto GuardedMember =
+      memberExpr(member(fieldDecl(hasAttr(attr::GuardedBy)).bind("field")));
+
+  // `return guarded_;` from a reference-returning function, or
+  // `return &guarded_;` from a pointer-returning one.
+  Finder->addMatcher(
+      returnStmt(
+          hasReturnValue(ignoringParenImpCasts(anyOf(
+              GuardedMember,
+              unaryOperator(hasOperatorName("&"),
+                            hasUnaryOperand(
+                                ignoringParenImpCasts(GuardedMember)))))),
+          forFunction(functionDecl(returns(hasCanonicalType(anyOf(
+                                       referenceType(), pointerType()))))
+                          .bind("func")))
+          .bind("ret"),
+      this);
+}
+
+void GuardedReturnCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Ret = Result.Nodes.getNodeAs<ReturnStmt>("ret");
+  const auto *Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  const auto *Field = Result.Nodes.getNodeAs<FieldDecl>("field");
+  if (Ret == nullptr || Func == nullptr || Field == nullptr) {
+    return;
+  }
+  // NDV_REQUIRES on the function is the sound contract: the caller holds
+  // the guarding mutex across the use, so the escaping reference stays
+  // covered. -Wthread-safety then enforces that contract at call sites.
+  if (Func->hasAttr<RequiresCapabilityAttr>()) {
+    return;
+  }
+  diag(Ret->getBeginLoc(),
+       "%0 returns a reference/pointer to %1, which is guarded by a mutex "
+       "the caller does not hold; return a copy, or annotate the function "
+       "NDV_REQUIRES(<mutex>) so callers must lock around the use")
+      << Func << Field;
+}
+
+}  // namespace clang::tidy::ndv

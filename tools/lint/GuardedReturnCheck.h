@@ -1,0 +1,35 @@
+#ifndef NDV_TOOLS_LINT_GUARDED_RETURN_CHECK_H_
+#define NDV_TOOLS_LINT_GUARDED_RETURN_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::ndv {
+
+// ndv-guarded-return: flags a function returning a reference or pointer to
+// an NDV_GUARDED_BY data member when the function does not carry
+// NDV_REQUIRES for the guarding mutex. The lock an accessor takes
+// internally dies at the closing brace, so the caller dereferences the
+// guarded state with no lock held — the exact accessor bug the durable
+// catalog shipped with (state() once returned `const StatsCatalog&` from
+// under a scoped lock, racing every reader against AppendPublish).
+//
+// Clang's -Wthread-safety analysis does NOT catch this shape: the access
+// happens inside the locked region; it is the escaping reference that is
+// unsound. The two sound alternatives are the diagnosed fixes: return a
+// copy, or annotate the accessor NDV_REQUIRES(mutex) so the caller must
+// hold the lock across the use (which this check then accepts).
+class GuardedReturnCheck : public ClangTidyCheck {
+ public:
+  GuardedReturnCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::ndv
+
+#endif  // NDV_TOOLS_LINT_GUARDED_RETURN_CHECK_H_

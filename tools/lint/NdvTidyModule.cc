@@ -1,0 +1,40 @@
+// The ndv-* clang-tidy module: project-specific contract checks, loaded
+// into a stock clang-tidy binary with `-load libndv_tidy_module.so`
+// (DESIGN.md §16). The shared object intentionally links against nothing —
+// every clang:: / llvm:: symbol resolves inside the hosting clang-tidy
+// process, which is why the host and the headers used to build this module
+// must share an LLVM major version (CI pins both; see
+// tools/lint/fetch_headers.sh).
+
+#include "CheckMacroSideEffectsCheck.h"
+#include "GuardedReturnCheck.h"
+#include "NoStdHashContainerCheck.h"
+#include "UncheckedStatusCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy::ndv {
+
+class NdvTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<UncheckedStatusCheck>("ndv-unchecked-status");
+    Factories.registerCheck<NoStdHashContainerCheck>(
+        "ndv-no-std-hash-container");
+    Factories.registerCheck<CheckMacroSideEffectsCheck>(
+        "ndv-check-macro-side-effects");
+    Factories.registerCheck<GuardedReturnCheck>("ndv-guarded-return");
+  }
+};
+
+}  // namespace clang::tidy::ndv
+
+namespace clang::tidy {
+
+static ClangTidyModuleRegistry::Add<ndv::NdvTidyModule> X(
+    "ndv-module", "ndv contract and concurrency checks");
+
+// Keeps the registration object alive against aggressive dead-stripping.
+volatile int NdvTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

@@ -1,0 +1,47 @@
+#include "NoStdHashContainerCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ndv {
+
+void NoStdHashContainerCheck::registerMatchers(MatchFinder *Finder) {
+  // Match the written spelling (the elaborated `std::unordered_map<...>`
+  // node), not every desugared reference, so each source use reports at
+  // its own location exactly once.
+  Finder->addMatcher(
+      typeLoc(loc(elaboratedType(namesType(hasDeclaration(namedDecl(
+                  hasAnyName("::std::unordered_map", "::std::unordered_set",
+                             "::std::unordered_multimap",
+                             "::std::unordered_multiset"))
+                                               .bind("decl"))))))
+          .bind("loc"),
+      this);
+}
+
+void NoStdHashContainerCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Loc = Result.Nodes.getNodeAs<TypeLoc>("loc");
+  const auto *Decl = Result.Nodes.getNodeAs<NamedDecl>("decl");
+  if (Loc == nullptr || Decl == nullptr) {
+    return;
+  }
+  const SourceLocation Begin = Loc->getBeginLoc();
+  if (Begin.isInvalid()) {
+    return;
+  }
+  const SourceLocation Expansion =
+      Result.SourceManager->getExpansionLoc(Begin);
+  if (!Reported.insert(Expansion.getRawEncoding()).second) {
+    return;
+  }
+  diag(Expansion,
+       "std::%0 has seed-dependent iteration order; use ndv::FlatHashSet/"
+       "FlatHashMap (common/flat_hash.h), or add a "
+       "NOLINT(ndv-no-std-hash-container) comment explaining why the std "
+       "container is required here")
+      << Decl->getName();
+}
+
+}  // namespace clang::tidy::ndv

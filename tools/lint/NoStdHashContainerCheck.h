@@ -1,0 +1,38 @@
+#ifndef NDV_TOOLS_LINT_NO_STD_HASH_CONTAINER_CHECK_H_
+#define NDV_TOOLS_LINT_NO_STD_HASH_CONTAINER_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang::tidy::ndv {
+
+// ndv-no-std-hash-container: bans std::unordered_{map,set,multimap,
+// multiset} in the tree. Their iteration order is implementation-defined
+// and seed-dependent, which has twice produced nondeterministic artifact
+// bytes in this repo (catalog serialization, pack dictionaries); the
+// project's ndv::FlatHash{Set,Map} (common/flat_hash.h) are the sanctioned
+// replacements, with deterministic seeded hashing and better locality on
+// the estimator hot paths.
+//
+// Deliberate exceptions stay — with a NOLINT(ndv-no-std-hash-container)
+// comment explaining why the std container is required at that site.
+class NoStdHashContainerCheck : public ClangTidyCheck {
+ public:
+  NoStdHashContainerCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+ private:
+  // One written occurrence can surface as several TypeLoc nodes (template
+  // instantiations re-visit the spelling); report each spelling once.
+  llvm::DenseSet<unsigned> Reported;
+};
+
+}  // namespace clang::tidy::ndv
+
+#endif  // NDV_TOOLS_LINT_NO_STD_HASH_CONTAINER_CHECK_H_

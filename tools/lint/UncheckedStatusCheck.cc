@@ -1,0 +1,49 @@
+#include "UncheckedStatusCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::ndv {
+
+void UncheckedStatusCheck::registerMatchers(MatchFinder *Finder) {
+  // A call to anything returning ndv::Status or ndv::StatusOr<T>,
+  // canonically (through typedefs and sugar).
+  auto StatusCall =
+      callExpr(callee(functionDecl(returns(hasCanonicalType(hasDeclaration(
+                   cxxRecordDecl(hasAnyName("::ndv::Status",
+                                            "::ndv::StatusOr"))))))))
+          .bind("call");
+
+  // The call is "discarded" when it sits in a statement context — the same
+  // contexts bugprone-unused-return-value walks. ignoringImplicit strips
+  // the ExprWithCleanups / CXXBindTemporaryExpr shell around a discarded
+  // prvalue; ignoringParenImpCasts leaves an explicit (void) cast
+  // unmatched, which is the sanctioned way to discard on purpose.
+  auto Matched = expr(ignoringImplicit(ignoringParenImpCasts(StatusCall)));
+
+  Finder->addMatcher(
+      stmt(anyOf(compoundStmt(forEach(Matched)),
+                 ifStmt(eachOf(hasThen(Matched), hasElse(Matched))),
+                 whileStmt(hasBody(Matched)), doStmt(hasBody(Matched)),
+                 forStmt(eachOf(hasLoopInit(Matched), hasIncrement(Matched),
+                                hasBody(Matched))),
+                 cxxForRangeStmt(hasBody(Matched)),
+                 caseStmt(hasSubStmt(Matched)),
+                 defaultStmt(hasSubStmt(Matched)),
+                 labelStmt(hasSubStmt(Matched)))),
+      this);
+}
+
+void UncheckedStatusCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (Call == nullptr) {
+    return;
+  }
+  diag(Call->getBeginLoc(),
+       "ndv::Status result is discarded; bind it, test .ok(), use "
+       "NDV_RETURN_IF_ERROR, or cast to (void) to discard deliberately");
+}
+
+}  // namespace clang::tidy::ndv

@@ -1,0 +1,32 @@
+#ifndef NDV_TOOLS_LINT_UNCHECKED_STATUS_CHECK_H_
+#define NDV_TOOLS_LINT_UNCHECKED_STATUS_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::ndv {
+
+// ndv-unchecked-status: flags a call whose ndv::Status / ndv::StatusOr
+// result is discarded. Status is the project's only error channel (no
+// exceptions), so a dropped Status is a swallowed failure: the WAL append
+// that "worked", the send whose backpressure vanished. Complements the
+// [[nodiscard]] attributes on the types themselves — the check fires even
+// in builds where -Wunused-result is off, and catches factory functions
+// the attribute audit missed.
+//
+// An explicit `(void)Call()` cast is accepted as a deliberate discard;
+// anything else must bind or test the result (NDV_RETURN_IF_ERROR, .ok()).
+class UncheckedStatusCheck : public ClangTidyCheck {
+ public:
+  UncheckedStatusCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::ndv
+
+#endif  // NDV_TOOLS_LINT_UNCHECKED_STATUS_CHECK_H_

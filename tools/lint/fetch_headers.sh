@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Fetch the clang-tidy plugin-API headers for a pinned LLVM release.
+#
+# Distro packages ship the clang-tidy *binary* and the clang/llvm dev
+# headers (libclang-XX-dev, llvm-XX-dev), but not the clang-tidy headers
+# the plugin compiles against (ClangTidyCheck.h and friends live only in
+# the clang-tools-extra source tree). This script pulls that small closure
+# from the pinned release tag so CI never needs a full llvm-project
+# checkout. The tag's major version MUST match the clang-tidy binary that
+# will -load the plugin: the module links nothing and resolves its symbols
+# inside the host process, so an ABI mismatch is a crash, not an error
+# message.
+#
+# Usage: fetch_headers.sh [TAG] [OUT_DIR]
+#   TAG      llvm-project release tag (default: llvmorg-18.1.8)
+#   OUT_DIR  created if needed; headers land in OUT_DIR/clang-tidy/
+#            (default: build/clang-tidy-headers)
+
+set -euo pipefail
+
+TAG="${1:-llvmorg-18.1.8}"
+OUT="${2:-build/clang-tidy-headers}"
+BASE="https://raw.githubusercontent.com/llvm/llvm-project/${TAG}/clang-tools-extra/clang-tidy"
+
+# Include closure of ClangTidyCheck.h + ClangTidyModule(Registry).h as of
+# the 18.x branch. All cross-includes inside the set are same-directory
+# relative, so a flat clang-tidy/ subdir is a faithful layout.
+HEADERS=(
+  ClangTidy.h
+  ClangTidyCheck.h
+  ClangTidyDiagnosticConsumer.h
+  ClangTidyModule.h
+  ClangTidyModuleRegistry.h
+  ClangTidyOptions.h
+  ClangTidyProfiling.h
+  FileExtensionsSet.h
+  GlobList.h
+  NoLintDirectiveHandler.h
+)
+
+mkdir -p "${OUT}/clang-tidy"
+for header in "${HEADERS[@]}"; do
+  echo "fetching ${header}"
+  curl -fsSL --retry 3 "${BASE}/${header}" -o "${OUT}/clang-tidy/${header}"
+done
+
+echo "clang-tidy headers (${TAG}) -> ${OUT}/clang-tidy/"
+echo "configure with: -DNDV_CLANG_TIDY_HEADERS=$(cd "${OUT}" && pwd)"

@@ -1,0 +1,49 @@
+// Fixture for ndv-check-macro-side-effects, compiled against the real
+// common/check.h: NDV_DCHECK bodies vanish in Release builds, so any side
+// effect inside a contract macro diverges between build types.
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace {
+
+int g_counter = 0;
+
+int Pure(int x) { return x + 1; }
+
+struct Ticket {
+  int Next() { return ++value; }      // non-const: a side effect
+  int Peek() const { return value; }  // const: effect-free
+  int value = 0;
+};
+
+}  // namespace
+
+void PlainForms(std::vector<int>& values, Ticket& ticket) {
+  NDV_CHECK(g_counter++ < 10);             // EXPECT: ndv-check-macro-side-effects
+  NDV_DCHECK(--g_counter >= 0);            // EXPECT: ndv-check-macro-side-effects
+  NDV_CHECK(ticket.Next() > 0);            // EXPECT: ndv-check-macro-side-effects
+  NDV_CHECK_MSG((g_counter = 5) == 5, "assignment in a contract");  // EXPECT: ndv-check-macro-side-effects
+
+  NDV_CHECK(ticket.Peek() >= 0);        // silent: const member call
+  NDV_CHECK(Pure(g_counter) > 0);       // silent: free functions are allowed
+  NDV_CHECK(!values.empty());           // silent: const member call
+  NDV_CHECK(g_counter + 1 < 100);       // silent: effect-free arithmetic
+}
+
+void ComparisonForms(Ticket& ticket) {
+  NDV_CHECK_EQ(ticket.Next(), 1);       // EXPECT: ndv-check-macro-side-effects
+  NDV_DCHECK_GE(g_counter += 2, 0);     // EXPECT: ndv-check-macro-side-effects
+
+  NDV_CHECK_EQ(ticket.Peek(), ticket.value);  // silent: effect-free operands
+  NDV_CHECK_LT(g_counter, 1 << 20);           // silent
+}
+
+void OutsideMacros(Ticket& ticket) {
+  // Side effects outside the contract macros are none of this check's
+  // business (plain code mutates freely).
+  if (ticket.Next() > 3) {
+    ++g_counter;
+  }
+}

@@ -1,0 +1,47 @@
+// Fixture for ndv-guarded-return, compiled against the real annotated
+// mutex: an accessor whose internal lock dies at the closing brace must
+// not leak a reference/pointer to the state that lock guards (the durable
+// catalog accessor bug, PR 7). NDV_REQUIRES on the accessor is the sound
+// alternative and must stay silent.
+
+#include <cstdint>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ndv {
+
+class Registry {
+ public:
+  const std::string& name_ref() {
+    MutexLock lock(mutex_);
+    return name_;  // EXPECT: ndv-guarded-return
+  }
+
+  const int64_t* rows_ptr() {
+    MutexLock lock(mutex_);
+    return &rows_;  // EXPECT: ndv-guarded-return
+  }
+
+  std::string name_copy() {
+    MutexLock lock(mutex_);
+    return name_;  // silent: copies under the lock
+  }
+
+  const std::string& name_locked() NDV_REQUIRES(mutex_) {
+    return name_;  // silent: the caller holds mutex_ across the use
+  }
+
+  const std::string& label() const {
+    return label_;  // silent: label_ is not guarded state
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::string name_ NDV_GUARDED_BY(mutex_);
+  int64_t rows_ NDV_GUARDED_BY(mutex_) = 0;
+  std::string label_;
+};
+
+}  // namespace ndv

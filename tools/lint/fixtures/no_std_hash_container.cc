@@ -1,0 +1,29 @@
+// Fixture for ndv-no-std-hash-container: std::unordered_* is banned in the
+// tree (seed-dependent iteration order has leaked into artifact bytes
+// before); ndv::FlatHashSet/FlatHashMap are the replacements, and the
+// NOLINT comment is the allowlist for the few deliberate exceptions.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ndv {
+
+std::unordered_map<std::string, int> BuildIndex();  // EXPECT: ndv-no-std-hash-container
+
+void Locals() {
+  std::unordered_set<int> seen;  // EXPECT: ndv-no-std-hash-container
+  seen.insert(1);
+  std::vector<int> ordered;  // silent: deterministic container
+  ordered.push_back(1);
+}
+
+struct Holder {
+  std::unordered_multimap<int, int> edges;  // EXPECT: ndv-no-std-hash-container
+  // NOLINTNEXTLINE(ndv-no-std-hash-container): exercised as the allowlist
+  // mechanism — a justified std container use stays silent.
+  std::unordered_map<std::string, int> allowed;
+};
+
+}  // namespace ndv

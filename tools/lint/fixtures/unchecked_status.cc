@@ -1,0 +1,31 @@
+// Fixture for ndv-unchecked-status. Lines marked `// EXPECT: <check>` must
+// produce exactly that diagnostic; every other line must stay silent
+// (run_lint_test.py asserts both directions).
+
+#include "status_stub.h"
+
+namespace ndv {
+
+Status DoWork();
+StatusOr<int> Compute();
+int PlainInt();
+
+void Discarding() {
+  DoWork();                                // EXPECT: ndv-unchecked-status
+  Compute();                               // EXPECT: ndv-unchecked-status
+  if (PlainInt() > 0) DoWork();            // EXPECT: ndv-unchecked-status
+  for (int i = 0; i < 3; ++i) Compute();   // EXPECT: ndv-unchecked-status
+  while (PlainInt() < 2) DoWork();         // EXPECT: ndv-unchecked-status
+}
+
+void Consuming() {
+  PlainInt();                  // silent: not a Status-returning call
+  Status bound = DoWork();     // silent: result bound
+  if (!bound.ok()) return;
+  if (DoWork().ok()) return;   // silent: result tested
+  (void)DoWork();              // silent: explicit deliberate discard
+  StatusOr<int> result = Compute();
+  if (result.ok()) (void)result.value();
+}
+
+}  // namespace ndv

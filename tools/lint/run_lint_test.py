@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fixture harness for the ndv-* clang-tidy checks.
+
+Each fixture line marked `// EXPECT: <check-name>` must produce exactly that
+diagnostic on that line, and no unmarked line may produce any ndv-* diagnostic.
+The comparison is exact in both directions (missing AND unexpected findings
+fail), keyed on (file, line, check).
+
+Usage:
+  run_lint_test.py --clang-tidy <bin> --plugin <libndv_tidy_module.so> \
+      --src-root <repo>/src --fixtures <dir> [fixture.cc ...]
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([a-z0-9-]+)")
+# clang-tidy diagnostic: <file>:<line>:<col>: warning: <msg> [<check>]
+DIAG_RE = re.compile(r"^(.+?):(\d+):\d+:\s+warning:\s+.*\[([a-z0-9-]+)\]\s*$")
+
+CHECKS = "-*,ndv-*"
+
+
+def expected_findings(fixture: Path):
+    found = set()
+    for lineno, line in enumerate(fixture.read_text().splitlines(), start=1):
+        m = EXPECT_RE.search(line)
+        if m:
+            found.add((fixture.name, lineno, m.group(1)))
+    return found
+
+
+def actual_findings(output: str):
+    found = set()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if m:
+            found.add((Path(m.group(1)).name, int(m.group(2)), m.group(3)))
+    return found
+
+
+def run_fixture(args, fixture: Path):
+    cmd = [
+        args.clang_tidy,
+        f"-load={args.plugin}",
+        f"-checks={CHECKS}",
+        "--quiet",
+        str(fixture),
+        "--",
+        "-std=c++20",
+        f"-I{args.src_root}",
+        f"-I{args.fixtures}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # clang-tidy exits non-zero on compile errors; diagnostics alone exit 0.
+    if "error:" in proc.stderr or "error:" in proc.stdout:
+        print(f"FAIL {fixture.name}: fixture failed to compile")
+        print(proc.stdout)
+        print(proc.stderr)
+        return False
+
+    want = expected_findings(fixture)
+    got = actual_findings(proc.stdout)
+
+    missing = want - got
+    unexpected = got - want
+    if not missing and not unexpected:
+        print(f"PASS {fixture.name}: {len(want)} expected diagnostics matched")
+        return True
+
+    print(f"FAIL {fixture.name}")
+    for f, line, check in sorted(missing):
+        print(f"  missing    {f}:{line} [{check}]")
+    for f, line, check in sorted(unexpected):
+        print(f"  unexpected {f}:{line} [{check}]")
+    print("--- clang-tidy stdout ---")
+    print(proc.stdout)
+    return False
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--clang-tidy", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--src-root", required=True)
+    parser.add_argument("--fixtures", required=True)
+    parser.add_argument("fixture_files", nargs="*")
+    args = parser.parse_args()
+
+    fixtures_dir = Path(args.fixtures)
+    fixtures = (
+        [Path(f) for f in args.fixture_files]
+        if args.fixture_files
+        else sorted(fixtures_dir.glob("*.cc"))
+    )
+    if not fixtures:
+        print(f"no fixtures found under {fixtures_dir}")
+        return 1
+
+    ok = True
+    for fixture in fixtures:
+        ok = run_fixture(args, fixture) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

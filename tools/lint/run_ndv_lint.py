@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Run the ndv-* clang-tidy checks over the whole tree.
+
+Reads compile_commands.json from the build directory, filters to first-party
+translation units (src/, tools/, tests/ — third-party and generated files are
+skipped), and runs clang-tidy with the ndv plugin over each. Exits non-zero
+if any diagnostic is emitted, so CI can gate on it. NOLINT(<check>) comments
+are the sanctioned allowlist.
+
+Usage:
+  run_ndv_lint.py --clang-tidy <bin> --plugin <libndv_tidy_module.so> \
+      --build-dir build [-j N] [paths...]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+FIRST_PARTY = ("src/", "tools/", "tests/")
+SKIP_PARTS = ("tools/lint/fixtures/", "/_deps/", "third_party/")
+
+
+def select_files(build_dir: Path, repo_root: Path, only: list[str]):
+    db = json.loads((build_dir / "compile_commands.json").read_text())
+    files = []
+    for entry in db:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        try:
+            rel = path.relative_to(repo_root)
+        except ValueError:
+            continue
+        rel_str = rel.as_posix()
+        if not rel_str.startswith(FIRST_PARTY):
+            continue
+        if any(part in rel_str for part in SKIP_PARTS):
+            continue
+        if only and not any(rel_str.startswith(o) for o in only):
+            continue
+        files.append(str(path))
+    return sorted(set(files))
+
+
+def lint_one(args, path):
+    cmd = [
+        args.clang_tidy,
+        f"-load={args.plugin}",
+        "-checks=-*,ndv-*",
+        "--quiet",
+        "-p",
+        str(args.build_dir),
+        path,
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    findings = [
+        line
+        for line in proc.stdout.splitlines()
+        if ": warning:" in line or ": error:" in line
+    ]
+    return path, findings, proc.returncode
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--build-dir", default="build", type=Path)
+    parser.add_argument("-j", "--jobs", type=int, default=4)
+    parser.add_argument("paths", nargs="*", help="restrict to these prefixes")
+    args = parser.parse_args()
+
+    repo_root = Path(__file__).resolve().parents[2]
+    files = select_files(args.build_dir.resolve(), repo_root, args.paths)
+    if not files:
+        print("no first-party files found in compile_commands.json")
+        return 1
+
+    total_findings = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, findings, rc in pool.map(
+            lambda f: lint_one(args, f), files
+        ):
+            if findings:
+                total_findings += len(findings)
+                print(f"== {path}")
+                print("\n".join(findings))
+            elif rc != 0:
+                total_findings += 1
+                print(f"== {path}: clang-tidy exited {rc}")
+
+    print(f"ndv-lint: {len(files)} files, {total_findings} findings")
+    return 1 if total_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
