@@ -1,0 +1,17 @@
+// POSITIVE CONTROL — must compile cleanly under -Werror=unused-result:
+// an explicit (void) cast is the sanctioned way to discard a
+// [[nodiscard]] ndv::Status, and binding/testing obviously consumes it.
+
+#include "common/status.h"
+
+namespace {
+
+ndv::Status MightFail() { return ndv::Status::Ok(); }
+
+}  // namespace
+
+int main() {
+  (void)MightFail();  // deliberate discard
+  const ndv::Status status = MightFail();
+  return status.ok() ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// POSITIVE CONTROL — must compile cleanly under -Wthread-safety -Werror.
+// Exercises the full annotated vocabulary the rejection tests probe, so a
+// harness bug (wrong flags, broken include path) fails here instead of
+// masquerading as a successful rejection.
+
+#include <chrono>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int item) NDV_EXCLUDES(mutex_) {
+    ndv::MutexLock lock(mutex_);
+    pending_ = item;
+    has_item_ = true;
+    ready_.NotifyOne();
+  }
+
+  int BlockingPop() NDV_EXCLUDES(mutex_) {
+    ndv::MutexLock lock(mutex_);
+    while (!has_item_) {
+      ready_.Wait(mutex_);
+    }
+    has_item_ = false;
+    return pending_;
+  }
+
+  bool TimedPop(int& out) NDV_EXCLUDES(mutex_) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+    ndv::MutexLock lock(mutex_);
+    while (!has_item_) {
+      if (ready_.WaitUntil(mutex_, deadline) && !has_item_) {
+        return false;
+      }
+    }
+    has_item_ = false;
+    out = pending_;
+    return true;
+  }
+
+  int ordered_sum() NDV_EXCLUDES(outer_) {
+    ndv::MutexLock outer(outer_);
+    ndv::MutexLock lock(mutex_);  // declared order: outer_ before mutex_
+    return pending_ + outer_value_;
+  }
+
+ private:
+  ndv::Mutex outer_ NDV_ACQUIRED_BEFORE(mutex_);
+  mutable ndv::Mutex mutex_;
+  ndv::CondVar ready_;
+  int pending_ NDV_GUARDED_BY(mutex_) = 0;
+  bool has_item_ NDV_GUARDED_BY(mutex_) = false;
+  int outer_value_ NDV_GUARDED_BY(outer_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Push(7);
+  int out = 0;
+  static_cast<void>(queue.TimedPop(out));
+  return queue.BlockingPop() == 7 && queue.ordered_sum() >= 0 ? 0 : 1;
+}

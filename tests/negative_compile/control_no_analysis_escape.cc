@@ -1,0 +1,34 @@
+// POSITIVE CONTROL — must compile cleanly under -Wthread-safety -Werror.
+// NDV_NO_THREAD_SAFETY_ANALYSIS is the sanctioned escape hatch (init and
+// teardown paths where the object is provably unshared); this control
+// pins that the hatch actually opts the function out.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Lifecycle {
+ public:
+  // Single-threaded teardown: the destructor-style drain touches guarded
+  // state lock-free, annotated as exempt.
+  void DrainUnshared() NDV_NO_THREAD_SAFETY_ANALYSIS { count_ = 0; }
+
+  void Add() NDV_EXCLUDES(mutex_) {
+    ndv::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  ndv::Mutex mutex_;
+  int count_ NDV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Lifecycle lifecycle;
+  lifecycle.Add();
+  lifecycle.DrainUnshared();
+  return 0;
+}

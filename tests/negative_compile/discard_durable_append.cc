@@ -1,0 +1,19 @@
+// MUST NOT COMPILE under -Werror=unused-result (any compiler): the
+// durable-catalog mutators are [[nodiscard]] — an ignored AppendPut/Sync
+// means an unacknowledged lost write.
+// EXPECT: nodiscard|unused-result
+
+#include "catalog/durable_catalog.h"
+
+namespace {
+
+void FireAndForget(ndv::DurableCatalog& catalog) {
+  catalog.Sync();  // result dropped: sync failure would go unnoticed
+}
+
+}  // namespace
+
+int main() {
+  void (*probe)(ndv::DurableCatalog&) = &FireAndForget;
+  return probe != nullptr ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// MUST NOT COMPILE under -Werror=unused-result (any compiler): ndv::Status
+// is class-level [[nodiscard]], so silently dropping one is an error.
+// EXPECT: nodiscard|unused-result
+
+#include "common/status.h"
+
+namespace {
+
+ndv::Status MightFail() { return ndv::Status::Ok(); }
+
+}  // namespace
+
+int main() {
+  MightFail();  // result dropped on the floor
+  return 0;
+}

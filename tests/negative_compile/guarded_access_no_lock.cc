@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: reads and writes a
+// NDV_GUARDED_BY member without holding its mutex.
+// EXPECT: requires holding mutex
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++count_; }    // write without the lock
+  int value() const { return count_; }  // read without the lock
+
+ private:
+  mutable ndv::Mutex mutex_;
+  int count_ NDV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.value();
+}

@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under -Wthread-safety -Wthread-safety-beta -Werror:
+// acquires two mutexes against their declared NDV_ACQUIRED_BEFORE order
+// (the ordering checks live behind -Wthread-safety-beta upstream).
+// EXPECT: must be acquired before
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void Inverted() {
+    ndv::MutexLock inner(second_);
+    ndv::MutexLock outer(first_);  // declared order is first_, then second_
+    ++value_;
+  }
+
+ private:
+  ndv::Mutex first_ NDV_ACQUIRED_BEFORE(second_);
+  ndv::Mutex second_;
+  int value_ NDV_GUARDED_BY(first_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks locks;
+  locks.Inverted();
+  return 0;
+}

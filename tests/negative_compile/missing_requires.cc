@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: calls an
+// NDV_REQUIRES(mutex_) method without holding the mutex.
+// EXPECT: requires holding mutex
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Store {
+ public:
+  void Bump() { BumpLocked(); }  // missing MutexLock lock(mutex_)
+
+ private:
+  void BumpLocked() NDV_REQUIRES(mutex_) { ++value_; }
+
+  ndv::Mutex mutex_;
+  int value_ NDV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store store;
+  store.Bump();
+  return 0;
+}

@@ -1,0 +1,53 @@
+# Negative-compilation driver, run as `cmake -P` from ctest.
+#
+# A contract that is only enforced at compile time can silently rot: if a
+# refactor loosens an annotation, every positive test still passes. These
+# tests assert the opposite direction — that known-bad code STILL fails to
+# compile, with the diagnostic we expect — so the enforcement itself is
+# under test.
+#
+# Variables (passed with -D):
+#   COMPILER        compiler driver to invoke
+#   SOURCE          snippet to compile (-fsyntax-only; nothing is linked)
+#   INCLUDE_DIR     added as -I (the repo's src/)
+#   FLAGS           extra flags, space-separated string
+#   EXPECT          regex the compiler output must match (failure cases)
+#   EXPECT_FAILURE  TRUE: compile must fail AND match EXPECT.
+#                   FALSE/unset: compile must succeed (positive control).
+
+foreach(required COMPILER SOURCE INCLUDE_DIR)
+  if(NOT DEFINED ${required})
+    message(FATAL_ERROR "try_compile.cmake: ${required} not set")
+  endif()
+endforeach()
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+
+execute_process(
+  COMMAND ${COMPILER} -fsyntax-only -std=c++20 ${flag_list}
+          -I${INCLUDE_DIR} ${SOURCE}
+  RESULT_VARIABLE compile_rc
+  OUTPUT_VARIABLE compile_out
+  ERROR_VARIABLE compile_err)
+set(compiler_output "${compile_out}${compile_err}")
+
+if(EXPECT_FAILURE)
+  if(compile_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${SOURCE} compiled cleanly but was expected to be REJECTED "
+      "(the compile-time contract it probes is no longer enforced)")
+  endif()
+  if(DEFINED EXPECT AND NOT compiler_output MATCHES "${EXPECT}")
+    message(FATAL_ERROR
+      "${SOURCE} failed to compile (good) but the diagnostic did not "
+      "match \"${EXPECT}\". Compiler output:\n${compiler_output}")
+  endif()
+  message(STATUS "rejected as expected: ${SOURCE}")
+else()
+  if(NOT compile_rc EQUAL 0)
+    message(FATAL_ERROR
+      "${SOURCE} was expected to compile cleanly but failed:\n"
+      "${compiler_output}")
+  endif()
+  message(STATUS "accepted as expected: ${SOURCE}")
+endif()

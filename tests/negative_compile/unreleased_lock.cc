@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: takes the raw Lock()
+// path and returns with the mutex still held.
+// EXPECT: still held at the end of function
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Leaky {
+ public:
+  void LockAndForget() {
+    mutex_.Lock();
+    ++value_;
+    // missing mutex_.Unlock()
+  }
+
+ private:
+  ndv::Mutex mutex_;
+  int value_ NDV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Leaky leaky;
+  leaky.LockAndForget();
+  return 0;
+}
