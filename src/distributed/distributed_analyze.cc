@@ -106,6 +106,17 @@ Status ValidateReply(const WorkerReply& reply, int64_t target,
 
 }  // namespace
 
+PartitionRowRange PartitionShard(int64_t total_rows, int partitions,
+                                 int partition) {
+  NDV_CHECK(total_rows >= 0);
+  NDV_CHECK(partitions >= 1);
+  NDV_CHECK(0 <= partition && partition < partitions);
+  PartitionRowRange range;
+  range.begin = total_rows * partition / partitions;
+  range.end = total_rows * (partition + 1) / partitions;
+  return range;
+}
+
 std::string_view PartitionStateName(PartitionState state) {
   switch (state) {
     case PartitionState::kScanned: return "SCANNED";
@@ -166,8 +177,7 @@ StatusOr<DistributedAnalyzeResult> DistributedAnalyze(
   ParallelFor(partitions, ResolveThreadCount(options.threads),
               [&](int64_t pi) {
     const int p = static_cast<int>(pi);
-    const int64_t begin = total_rows * p / partitions;
-    const int64_t end = total_rows * (p + 1) / partitions;
+    const auto [begin, end] = PartitionShard(total_rows, partitions, p);
     PartitionOutcome& outcome = outcomes[static_cast<size_t>(p)];
     outcome.partition = p;
     outcome.rows = end - begin;

@@ -29,11 +29,12 @@ FrequencyProfile FrequencyProfile::FromFrequencyCounts(
 }
 
 FrequencyProfile FrequencyProfile::FromValues(
-    std::span<const uint64_t> values) {
-  // Deliberately unreserved: the distinct count is typically far below
+    std::span<const uint64_t> values, int64_t expected_distinct) {
+  // Unreserved by default: the distinct count is typically far below
   // values.size(), and growing from small keeps the table cache-resident
   // (reserving for every value would zero and probe a mostly-empty table).
-  FlatHashCounter counts;
+  // Callers that know better pass expected_distinct.
+  FlatHashCounter counts(expected_distinct);
   for (uint64_t v : values) counts.Add(v);
   FrequencyProfile profile = FromHashCounter(counts);
   // Mass conservation: every input value lands in exactly one class, so

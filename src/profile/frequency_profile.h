@@ -31,8 +31,14 @@ class FrequencyProfile {
   static FrequencyProfile FromFrequencyCounts(
       std::span<const int64_t> f_by_freq);
 
-  // Builds a profile from raw (hashed) sample values.
-  static FrequencyProfile FromValues(std::span<const uint64_t> values);
+  // Builds a profile from raw (hashed) sample values. `expected_distinct`
+  // pre-sizes the counting table; pass it when the distinct count is known
+  // to be near values.size() (e.g. a reservoir of row hashes, where nearly
+  // every sampled value is unique) — growing from small would pay ~4x the
+  // inserts in rehash churn there. The default (0) grows from small, which
+  // is right when distinct values are far fewer than input values.
+  static FrequencyProfile FromValues(std::span<const uint64_t> values,
+                                     int64_t expected_distinct = 0);
 
   // Builds a profile from an already-populated hash -> multiplicity
   // counter. This is the zero-copy end of the streaming pipeline: scan ->

@@ -5,16 +5,8 @@
 #include <utility>
 
 #include "common/check.h"
-#include "core/all_estimators.h"
 
 namespace ndv {
-namespace {
-
-// Rows streamed through a tracker per batch during warm-up; bounds the
-// scratch hash buffer while still using the batch hash kernel.
-constexpr int64_t kWarmupChunkRows = 65536;
-
-}  // namespace
 
 StatsService::StatsService(std::shared_ptr<const Table> table,
                            StatsServiceOptions options)
@@ -36,20 +28,15 @@ StatsService::StatsService(std::shared_ptr<const Table> table,
   // (this was an unlocked write before the annotations landed).
   {
     MutexLock lock(tracker_mutex_);
-    std::vector<uint64_t> hashes;
     for (int64_t c = 0; c < table_->NumColumns(); ++c) {
       const Column& column = table_->column(c);
-      auto tracker = std::make_unique<IncrementalColumnTracker>(
-          options_.tracker_reservoir,
-          options_.analyze.seed + static_cast<uint64_t>(c) + 1);
+      IncrementalStatsOptions tracker_options;
+      tracker_options.reservoir_capacity = options_.tracker_reservoir;
+      tracker_options.seed =
+          options_.analyze.seed + static_cast<uint64_t>(c) + 1;
+      auto tracker = std::make_unique<IncrementalStats>(tracker_options);
       column.PrepareFullScan();
-      for (int64_t begin = 0; begin < column.size();
-           begin += kWarmupChunkRows) {
-        const int64_t end = std::min(begin + kWarmupChunkRows, column.size());
-        hashes.resize(static_cast<size_t>(end - begin));
-        column.HashSlice(begin, end, hashes.data());
-        for (uint64_t hash : hashes) tracker->Insert(hash);
-      }
+      tracker->AppendBatch(FullColumnSlice(column));
       trackers_.emplace(table_->column_name(c), std::move(tracker));
     }
   }
@@ -94,27 +81,25 @@ StatusOr<bool> StatsService::ColumnIsStale(const ColumnStats& published) {
   MutexLock lock(tracker_mutex_);
   const auto it = trackers_.find(published.column_name);
   if (it == trackers_.end()) return false;  // No insert feed: trust cache.
-  IncrementalColumnTracker& tracker = *it->second;
+  const IncrementalStats& tracker = *it->second;
 
   // Fast path: nothing inserted since the last publication.
-  if (tracker.rows() == tracker.rows_at_last_snapshot()) return false;
+  if (tracker.rows() == tracker.rows_at_fresh()) return false;
 
-  // Rule 1 — drift trigger: the inserted volume alone exceeds the
+  // Rule 1 — volume trigger: the inserted volume alone exceeds the
   // configured fraction of the rows the statistics were built over.
-  auto drift = tracker.IsStaleOrStatus(options_.stale_changed_fraction);
-  if (!drift.ok()) return drift.status();
-  if (*drift) return true;
+  auto volume = tracker.IsStaleOrStatus(options_.stale_changed_fraction);
+  if (!volume.ok()) return volume.status();
+  if (*volume) return true;
 
-  // Rule 2 — interval escape: the tracker's running estimate no longer
-  // fits the published [LOWER, UPPER] bracket. The bracket width is the
-  // tolerance: a wide (low-information) interval absorbs more drift before
-  // forcing a re-ANALYZE than a tight one.
-  if (tracker.rows() < 1) return false;
-  const auto estimator = MakeEstimatorByName(options_.analyze.estimator);
-  NDV_CHECK_MSG(estimator != nullptr, "unknown estimator '%s'",
-                options_.analyze.estimator.c_str());
-  const double running = estimator->Estimate(tracker.Summary());
-  return running < published.lower || running > published.upper;
+  // Rule 2 — interval escape: the tracker's running sketch estimate has
+  // moved further from its at-publication baseline than the published
+  // [LOWER, UPPER] bracket is wide, which proves the estimate left the
+  // bracket. The width is the tolerance: a wide (low-information)
+  // interval absorbs more drift before forcing a re-ANALYZE than a tight
+  // one. O(1) in the sketch registers — no estimator re-evaluation over
+  // the reservoir on this path.
+  return tracker.DriftSinceFresh() > published.upper - published.lower;
 }
 
 Message StatsService::HandleGetStats(const Message& request) {
@@ -250,7 +235,7 @@ void StatsService::ObserveInserts(const std::string& column,
   MutexLock lock(tracker_mutex_);
   const auto it = trackers_.find(column);
   if (it == trackers_.end()) return;
-  for (uint64_t hash : hashes) it->second->Insert(hash);
+  it->second->AddHashes(hashes);
 }
 
 int StatsService::inflight() const {

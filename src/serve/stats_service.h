@@ -9,11 +9,11 @@
 
 #include "catalog/concurrent_catalog.h"
 #include "catalog/durable_catalog.h"
-#include "catalog/incremental_stats.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "distributed/clock.h"
 #include "distributed/retry.h"
+#include "ingest/incremental_stats.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
 #include "table/table.h"
@@ -28,12 +28,14 @@ namespace ndv {
 //     immutable epoch — so GET_STATS never blocks an in-flight ANALYZE and
 //     never observes a torn catalog.
 //   * The published catalog IS the per-table result cache. Staleness per
-//     column combines the drift trigger
-//     (IncrementalColumnTracker::IsStaleOrStatus over inserts observed
-//     since the last publication) with the paper's interval: a column is
-//     also stale when its tracker's running estimate escapes the published
-//     [LOWER, UPPER] bracket — a wide (low-information) interval tolerates
-//     more drift before forcing a re-ANALYZE than a tight one.
+//     column combines the volume trigger (IncrementalStats::
+//     IsStaleOrStatus over inserts observed since the last publication)
+//     with the paper's interval: a column is also stale when its
+//     tracker's running sketch estimate drifts out of the published
+//     [LOWER, UPPER] bracket — a wide (low-information) interval
+//     tolerates more drift before forcing a re-ANALYZE than a tight one.
+//     The drift read is O(1) in the tracker's sketch registers (no
+//     estimator re-evaluation over the reservoir on the probe path).
 //   * ANALYZE with force=false is a cache probe: it re-analyzes and
 //     publishes a new epoch only if some column is stale, otherwise it
 //     answers with the current epoch and refreshed=false.
@@ -47,7 +49,9 @@ struct StatsServiceOptions {
   // Drift threshold fed to IsStaleOrStatus (fraction of rows changed since
   // the last publication that makes a column stale).
   double stale_changed_fraction = 0.2;
-  // Reservoir capacity of each column's incremental tracker.
+  // Reservoir capacity of each column's incremental tracker (the other
+  // tracker knobs — sketch sizes, sampled-profile rate — use the
+  // IncrementalStatsOptions defaults).
   int64_t tracker_reservoir = 4096;
   // Admission bound: requests executing concurrently before load shedding.
   int max_inflight = 256;
@@ -122,9 +126,9 @@ class StatsService {
   Mutex analyze_mutex_ NDV_ACQUIRED_BEFORE(tracker_mutex_);
 
   // Insert trackers, one per column; guarded by tracker_mutex_ (the
-  // serving hot path only reads row counters and small reservoirs).
+  // serving hot path only reads row counters and sketch registers).
   mutable Mutex tracker_mutex_;
-  std::map<std::string, std::unique_ptr<IncrementalColumnTracker>> trackers_
+  std::map<std::string, std::unique_ptr<IncrementalStats>> trackers_
       NDV_GUARDED_BY(tracker_mutex_);
 
   // Admission control.

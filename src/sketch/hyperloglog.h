@@ -26,10 +26,21 @@ class HyperLogLog final : public DistinctCounter {
   }
 
   // Merges another sketch with identical precision (register-wise max);
-  // the result estimates the union of the two streams.
+  // the result estimates the union of the two streams. max is associative,
+  // commutative, and idempotent, so any merge order — and any interleaving
+  // of the underlying streams — yields bit-identical registers.
   void Merge(const HyperLogLog& other);
 
   int precision() const { return precision_; }
+
+  // The raw registers; exposed so tests can assert merged sketches are
+  // bit-identical to single-stream construction.
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+  // Member-wise (the abstract base carries no state to compare).
+  bool operator==(const HyperLogLog& other) const {
+    return precision_ == other.precision_ && registers_ == other.registers_;
+  }
 
   // Theoretical relative standard error 1.04 / sqrt(2^precision).
   double StandardError() const;

@@ -1,6 +1,7 @@
 #ifndef NDV_SKETCH_LINEAR_COUNTING_H_
 #define NDV_SKETCH_LINEAR_COUNTING_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "sketch/distinct_counter.h"
@@ -25,6 +26,22 @@ class LinearCounting final : public DistinctCounter {
   }
 
   int64_t zero_bits() const;
+
+  // Merges another bitmap of identical size (bitwise OR); the result is
+  // bit-identical to a single sketch fed both streams in any order, so the
+  // merge is associative and commutative. Requires other.bits() == bits().
+  void Merge(const LinearCounting& other);
+
+  int64_t bits() const { return bits_; }
+
+  // The raw bitmap words; exposed so tests can assert merged sketches are
+  // bit-identical to single-stream construction.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  // Member-wise (the abstract base carries no state to compare).
+  bool operator==(const LinearCounting& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
 
  private:
   int64_t bits_;

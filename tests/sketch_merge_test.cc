@@ -1,0 +1,194 @@
+// Merge algebra of the mergeable sketch backbone (HyperLogLog + linear
+// counting): associativity, commutativity, and bit-identity of merged
+// sketches against a single sketch fed the concatenated stream — the
+// property the incremental ingest path relies on to combine per-partition
+// deltas without re-shipping rows. The partition-parallel stress at the
+// bottom runs the shard builds on the shared pool, so under TSan it also
+// proves the "one sketch per shard, merge after join" discipline is
+// race-free.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/linear_counting.h"
+
+namespace ndv {
+namespace {
+
+// A deterministic hash stream of `count` values drawn from `distinct`
+// distinct well-mixed keys.
+std::vector<uint64_t> HashStream(uint64_t seed, int64_t count,
+                                 uint64_t distinct) {
+  Rng rng(seed);
+  std::vector<uint64_t> hashes;
+  hashes.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    hashes.push_back(Hash64(rng.NextBounded(distinct) + 1));
+  }
+  return hashes;
+}
+
+// The register sizes the ingest subsystem uses (default precision 12 /
+// 2^16 bits) plus the extremes the constructors accept, so a width-
+// dependent merge bug (e.g. in the bitmap's tail word) cannot hide.
+const int kHllPrecisions[] = {4, 10, 12, 14, 18};
+const int64_t kLcBits[] = {1, 63, 64, 65, 1 << 12, 1 << 16};
+
+TEST(HyperLogLogMergeTest, MergeIsBitIdenticalToSingleStream) {
+  for (const int precision : kHllPrecisions) {
+    const auto stream_a = HashStream(1, 20000, 5000);
+    const auto stream_b = HashStream(2, 30000, 9000);
+    HyperLogLog single(precision);
+    for (uint64_t hash : stream_a) single.Add(hash);
+    for (uint64_t hash : stream_b) single.Add(hash);
+
+    HyperLogLog a(precision);
+    for (uint64_t hash : stream_a) a.Add(hash);
+    HyperLogLog b(precision);
+    for (uint64_t hash : stream_b) b.Add(hash);
+    a.Merge(b);
+    EXPECT_EQ(a, single) << "precision " << precision;
+    EXPECT_EQ(a.registers(), single.registers());
+  }
+}
+
+TEST(HyperLogLogMergeTest, MergeIsCommutative) {
+  for (const int precision : kHllPrecisions) {
+    HyperLogLog a(precision);
+    for (uint64_t hash : HashStream(3, 10000, 3000)) a.Add(hash);
+    HyperLogLog b(precision);
+    for (uint64_t hash : HashStream(4, 12000, 7000)) b.Add(hash);
+    HyperLogLog ab = a;
+    ab.Merge(b);
+    HyperLogLog ba = b;
+    ba.Merge(a);
+    EXPECT_EQ(ab, ba) << "precision " << precision;
+  }
+}
+
+TEST(HyperLogLogMergeTest, MergeIsAssociativeAndIdempotent) {
+  for (const int precision : kHllPrecisions) {
+    HyperLogLog a(precision);
+    for (uint64_t hash : HashStream(5, 8000, 2000)) a.Add(hash);
+    HyperLogLog b(precision);
+    for (uint64_t hash : HashStream(6, 8000, 4000)) b.Add(hash);
+    HyperLogLog c(precision);
+    for (uint64_t hash : HashStream(7, 8000, 6000)) c.Add(hash);
+
+    HyperLogLog left = a;  // (a + b) + c
+    left.Merge(b);
+    left.Merge(c);
+    HyperLogLog bc = b;  // a + (b + c)
+    bc.Merge(c);
+    HyperLogLog right = a;
+    right.Merge(bc);
+    EXPECT_EQ(left, right) << "precision " << precision;
+
+    HyperLogLog twice = left;  // register-wise max: merging again is a noop
+    twice.Merge(left);
+    EXPECT_EQ(twice, left);
+  }
+}
+
+TEST(LinearCountingMergeTest, MergeIsBitIdenticalToSingleStream) {
+  for (const int64_t bits : kLcBits) {
+    const auto stream_a = HashStream(8, 5000, 1500);
+    const auto stream_b = HashStream(9, 7000, 2500);
+    LinearCounting single(bits);
+    for (uint64_t hash : stream_a) single.Add(hash);
+    for (uint64_t hash : stream_b) single.Add(hash);
+
+    LinearCounting a(bits);
+    for (uint64_t hash : stream_a) a.Add(hash);
+    LinearCounting b(bits);
+    for (uint64_t hash : stream_b) b.Add(hash);
+    a.Merge(b);
+    EXPECT_EQ(a, single) << "bits " << bits;
+    EXPECT_EQ(a.words(), single.words());
+    EXPECT_EQ(a.zero_bits(), single.zero_bits());
+  }
+}
+
+TEST(LinearCountingMergeTest, MergeIsCommutativeAndAssociative) {
+  for (const int64_t bits : kLcBits) {
+    LinearCounting a(bits);
+    for (uint64_t hash : HashStream(10, 4000, 900)) a.Add(hash);
+    LinearCounting b(bits);
+    for (uint64_t hash : HashStream(11, 4000, 1100)) b.Add(hash);
+    LinearCounting c(bits);
+    for (uint64_t hash : HashStream(12, 4000, 1300)) c.Add(hash);
+
+    LinearCounting ab = a;
+    ab.Merge(b);
+    LinearCounting ba = b;
+    ba.Merge(a);
+    EXPECT_EQ(ab, ba) << "bits " << bits;
+
+    LinearCounting left = ab;  // (a + b) + c
+    left.Merge(c);
+    LinearCounting bc = b;  // a + (b + c)
+    bc.Merge(c);
+    LinearCounting right = a;
+    right.Merge(bc);
+    EXPECT_EQ(left, right) << "bits " << bits;
+  }
+}
+
+// The distributed shape: P shard sketches built concurrently on the shared
+// pool (each shard strictly private to its task), merged after the join in
+// several different orders. Every order must agree bit-for-bit with the
+// sequential single-sketch build. Run under TSan, this is the data-race
+// proof for the ingest fan-out.
+TEST(SketchMergeStressTest, ParallelShardsMergeBitIdenticallyInAnyOrder) {
+  constexpr int kShards = 8;
+  constexpr int64_t kRowsPerShard = 25000;
+  constexpr int kPrecision = 12;
+  constexpr int64_t kBits = 1 << 14;
+
+  std::vector<HyperLogLog> hlls(kShards, HyperLogLog(kPrecision));
+  std::vector<LinearCounting> lcs(kShards, LinearCounting(kBits));
+  ParallelFor(kShards, ResolveThreadCount(0), [&](int64_t shard) {
+    const auto hashes = HashStream(static_cast<uint64_t>(shard) + 100,
+                                   kRowsPerShard, 40000);
+    for (uint64_t hash : hashes) {
+      hlls[static_cast<size_t>(shard)].Add(hash);
+      lcs[static_cast<size_t>(shard)].Add(hash);
+    }
+  });
+
+  HyperLogLog hll_single(kPrecision);
+  LinearCounting lc_single(kBits);
+  for (int shard = 0; shard < kShards; ++shard) {
+    const auto hashes = HashStream(static_cast<uint64_t>(shard) + 100,
+                                   kRowsPerShard, 40000);
+    for (uint64_t hash : hashes) {
+      hll_single.Add(hash);
+      lc_single.Add(hash);
+    }
+  }
+
+  // Forward order, reverse order, and an interleaved order.
+  const std::vector<std::vector<int>> orders = {
+      {0, 1, 2, 3, 4, 5, 6, 7},
+      {7, 6, 5, 4, 3, 2, 1, 0},
+      {3, 0, 6, 1, 7, 2, 5, 4},
+  };
+  for (const auto& order : orders) {
+    HyperLogLog hll_merged(kPrecision);
+    LinearCounting lc_merged(kBits);
+    for (const int shard : order) {
+      hll_merged.Merge(hlls[static_cast<size_t>(shard)]);
+      lc_merged.Merge(lcs[static_cast<size_t>(shard)]);
+    }
+    EXPECT_EQ(hll_merged, hll_single);
+    EXPECT_EQ(lc_merged, lc_single);
+  }
+}
+
+}  // namespace
+}  // namespace ndv

@@ -22,6 +22,22 @@ from pathlib import Path
 FIRST_PARTY = ("src/", "tools/", "tests/")
 SKIP_PARTS = ("tools/lint/fixtures/", "/_deps/", "third_party/")
 
+# Every src/ subsystem that must appear in an unrestricted run. A subsystem
+# absent from compile_commands.json (dropped target, renamed directory) would
+# otherwise skip linting silently.
+EXPECTED_SUBSYSTEMS = (
+    "src/catalog/",
+    "src/common/",
+    "src/distributed/",
+    "src/ingest/",
+    "src/profile/",
+    "src/sample/",
+    "src/serve/",
+    "src/sketch/",
+    "src/storage/",
+    "src/table/",
+)
+
 
 def select_files(build_dir: Path, repo_root: Path, only: list[str]):
     db = json.loads((build_dir / "compile_commands.json").read_text())
@@ -79,6 +95,17 @@ def main():
     if not files:
         print("no first-party files found in compile_commands.json")
         return 1
+
+    if not args.paths:
+        rels = {Path(f).resolve().relative_to(repo_root).as_posix() for f in files}
+        missing = [
+            sub
+            for sub in EXPECTED_SUBSYSTEMS
+            if not any(rel.startswith(sub) for rel in rels)
+        ]
+        if missing:
+            print(f"subsystems missing from compile_commands.json: {missing}")
+            return 1
 
     total_findings = 0
     with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:

@@ -10,6 +10,7 @@
 //   lowerbound  evaluate the Theorem 1 bound for given n, r, gamma
 //   serve       run the NDV stats service over a table (TCP, loopback)
 //   query       query a running stats service (get | list | analyze)
+//   ingest      replay an append stream through incremental maintenance
 //
 // Every --in file is auto-detected by content: files starting with the
 // ndvpack magic open zero-copy by mmap, everything else parses as CSV.
@@ -35,6 +36,11 @@
 //   ndv_cli query --port=7979 --op=list
 //   ndv_cli query --port=7979 --op=get --column=value
 //   ndv_cli query --port=7979 --op=analyze --force
+//   ndv_cli generate --kind=zipf --rows=10000 --seed=7 --append-to=data.csv
+//     # append freshly generated rows onto an existing dataset
+//   ndv_cli ingest --in=data.csv --append=batch.csv --batch-rows=1000
+//     # replay batch.csv as an append stream: per-batch incremental
+//     # publications, drift trigger, inline re-ANALYZE when it fires
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/concurrent_catalog.h"
 #include "catalog/durable_catalog.h"
 #include "catalog/stats_catalog.h"
 #include "common/mutex.h"
@@ -59,9 +66,11 @@
 #include "datagen/real_world_like.h"
 #include "datagen/zipf.h"
 #include "harness/report.h"
+#include "ingest/maintenance.h"
 #include "serve/socket_transport.h"
 #include "serve/stats_service.h"
 #include "sketch/exact_counter.h"
+#include "storage/materialize.h"
 #include "storage/ndvpack.h"
 #include "storage/pack_codec.h"
 #include "storage/pack_writer.h"
@@ -159,10 +168,32 @@ const ndv::Column& FindColumnOrDie(const ndv::Table& table,
   return table.column(index);
 }
 
+// A .ndvpack extension selects the binary columnar format; everything
+// else writes CSV (readers auto-detect by content either way).
+bool IsPackPath(const std::string& path) {
+  return path.size() >= 8 &&
+         path.compare(path.size() - 8, 8, ".ndvpack") == 0;
+}
+
+void WriteTableByExtension(const ndv::Table& table,
+                           const std::string& out_path, const Flags& flags) {
+  if (IsPackPath(out_path)) {
+    const ndv::Status status = WritePackWithFlags(table, out_path, flags);
+    if (!status.ok()) Fail(status.ToString());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) Fail("cannot write " + out_path);
+    ndv::WriteCsv(table, out);
+  }
+}
+
 int CmdGenerate(const Flags& flags) {
   const std::string kind = GetFlag(flags, "kind", "zipf");
   const std::string out_path = GetFlag(flags, "out", "");
-  if (out_path.empty()) Fail("--out is required");
+  const std::string append_to = GetFlag(flags, "append-to", "");
+  if (out_path.empty() == append_to.empty()) {
+    Fail("exactly one of --out or --append-to is required");
+  }
 
   ndv::Table table;
   if (kind == "zipf") {
@@ -187,23 +218,29 @@ int CmdGenerate(const Flags& flags) {
     Fail("unknown --kind (use zipf|census|covertype|mssales)");
   }
 
-  // A .ndvpack extension selects the binary columnar format; everything
-  // else writes CSV (readers auto-detect by content either way).
-  const bool as_pack =
-      out_path.size() >= 8 &&
-      out_path.compare(out_path.size() - 8, 8, ".ndvpack") == 0;
-  if (as_pack) {
-    const ndv::Status status = WritePackWithFlags(table, out_path, flags);
-    if (!status.ok()) Fail(status.ToString());
-  } else {
-    std::ofstream out(out_path);
-    if (!out) Fail("cannot write " + out_path);
-    ndv::WriteCsv(table, out);
+  if (!append_to.empty()) {
+    // --append-to: extend an existing dataset with the generated rows —
+    // the producer side of an append stream (vary --seed between calls so
+    // successive batches are not identical). The base's format is kept:
+    // CSV stays CSV, ndvpack is rewritten as ndvpack.
+    const ndv::Table base = LoadTable(append_to);
+    auto combined = ndv::ConcatTables(base, table);
+    if (!combined.ok()) Fail(combined.status().ToString());
+    WriteTableByExtension(*combined, append_to, flags);
+    std::printf("appended %lld rows to %s (%s, now %lld rows x %lld "
+                "columns)\n",
+                static_cast<long long>(table.NumRows()), append_to.c_str(),
+                IsPackPath(append_to) ? "ndvpack" : "csv",
+                static_cast<long long>(combined->NumRows()),
+                static_cast<long long>(combined->NumColumns()));
+    return 0;
   }
+
+  WriteTableByExtension(table, out_path, flags);
   std::printf("wrote %lld rows x %lld columns to %s (%s)\n",
               static_cast<long long>(table.NumRows()),
               static_cast<long long>(table.NumColumns()), out_path.c_str(),
-              as_pack ? "ndvpack" : "csv");
+              IsPackPath(out_path) ? "ndvpack" : "csv");
   return 0;
 }
 
@@ -632,11 +669,114 @@ int CmdQuery(const Flags& flags) {
   Fail("unknown --op '" + op + "' (use list|get|analyze)");
 }
 
+// Replays --append as an append stream over --in through the incremental
+// maintenance subsystem: every --batch-rows rows updates each column's
+// tracker in O(batch) and publishes a refreshed estimate + GEE interval as
+// a new catalog epoch; when the sketch drift of the reported column escapes
+// the interval published by the last full re-ANALYZE, the drift trigger
+// fires and a full re-ANALYZE over base + appended-so-far runs inline
+// (deterministic single-process mode) and resets the baseline.
+int CmdIngest(const Flags& flags) {
+  const std::string in_path = GetFlag(flags, "in", "");
+  const std::string append_path = GetFlag(flags, "append", "");
+  if (in_path.empty()) Fail("--in is required");
+  if (append_path.empty()) Fail("--append is required");
+  const ndv::Table base = LoadTable(in_path);
+  const ndv::Table append = LoadTable(append_path);
+  const int64_t batch_rows = GetInt(flags, "batch-rows", 1000);
+  if (batch_rows < 1) Fail("--batch-rows must be >= 1");
+  for (int64_t c = 0; c < base.NumColumns(); ++c) {
+    if (append.FindColumn(base.column_name(c)) < 0) {
+      Fail("--append has no column '" + base.column_name(c) + "'");
+    }
+  }
+
+  ndv::AnalyzeOptions analyze;
+  analyze.sample_fraction = GetDouble(flags, "fraction", 0.05);
+  analyze.estimator = GetFlag(flags, "estimator", "GEE");
+  analyze.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  analyze.threads = static_cast<int>(GetInt(flags, "threads", 0));
+
+  // The initial full ANALYZE of the base table is epoch 1 and every
+  // column's drift baseline.
+  ndv::ConcurrentStatsCatalog catalog(ndv::AnalyzeTable(base, analyze));
+
+  // The re-ANALYZE callback rebuilds the logical current table — base plus
+  // the append prefix observed so far — and scans it afresh.
+  int64_t appended_rows = 0;
+  const auto reanalyze = [&]() -> ndv::StatusOr<ndv::StatsCatalog> {
+    ndv::Table prefix;
+    for (int64_t c = 0; c < append.NumColumns(); ++c) {
+      auto column =
+          ndv::MaterializeColumnSlice(append.column(c), 0, appended_rows);
+      if (!column.ok()) return column.status();
+      prefix.AddColumn(append.column_name(c), *std::move(column));
+    }
+    auto combined = ndv::ConcatTables(base, prefix);
+    if (!combined.ok()) return combined.status();
+    return ndv::AnalyzeTable(*combined, analyze);
+  };
+
+  ndv::StatsMaintainerOptions options;
+  options.tracker.reservoir_capacity = GetInt(flags, "reservoir", 4096);
+  options.tracker.seed = analyze.seed;
+  options.estimator = analyze.estimator;
+  options.background = false;  // inline re-ANALYZE: deterministic output
+  ndv::StatsMaintainer maintainer(&catalog, reanalyze, options);
+  for (int64_t c = 0; c < base.NumColumns(); ++c) {
+    maintainer.Track(base.column_name(c),
+                     ndv::FullColumnSlice(base.column(c)));
+  }
+
+  const std::string report = GetFlag(flags, "column", base.column_name(0));
+  if (base.FindColumn(report) < 0) Fail("no column named '" + report + "'");
+
+  ndv::TextTable progress({"appended", "epoch", "estimate", "LOWER",
+                           "UPPER", "drift", "tolerance", "re-analyzes"});
+  for (int64_t begin = 0; begin < append.NumRows(); begin += batch_rows) {
+    const int64_t end = std::min(begin + batch_rows, append.NumRows());
+    // Advance the append cursor first so a drift-fired re-ANALYZE inside
+    // Append covers the whole batch.
+    appended_rows = end;
+    for (int64_t c = 0; c < base.NumColumns(); ++c) {
+      const std::string& name = base.column_name(c);
+      const ndv::Column& column =
+          append.column(append.FindColumn(name));
+      maintainer.Append(name, ndv::ColumnSlice{&column, begin, end});
+    }
+    const auto published = catalog.Find(report);
+    if (!published.has_value()) Fail("published entry vanished");
+    progress.AddRow({std::to_string(end),
+                     std::to_string(catalog.epoch()),
+                     ndv::FormatDouble(published->estimate, 1),
+                     ndv::FormatDouble(published->lower, 1),
+                     ndv::FormatDouble(published->upper, 1),
+                     ndv::FormatDouble(maintainer.Drift(report), 1),
+                     ndv::FormatDouble(maintainer.Tolerance(report), 1),
+                     std::to_string(maintainer.counters().reanalyzes)});
+  }
+  progress.Print(std::cout);
+
+  const ndv::Status reanalyze_status = maintainer.last_reanalyze_status();
+  if (!reanalyze_status.ok()) Fail(reanalyze_status.ToString());
+  const ndv::MaintainerCounters counters = maintainer.counters();
+  std::printf("\nappended %lld rows in %lld batches: %lld incremental "
+              "publications, %lld drift fires, %lld full re-analyzes "
+              "(final epoch %llu)\n",
+              static_cast<long long>(counters.rows_appended),
+              static_cast<long long>(counters.appends),
+              static_cast<long long>(counters.publications),
+              static_cast<long long>(counters.drift_fires),
+              static_cast<long long>(counters.reanalyzes),
+              static_cast<unsigned long long>(catalog.epoch()));
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: ndv_cli "
                "<generate|pack|estimate|analyze|distributed|sketch|"
-               "lowerbound|serve|query> "
+               "lowerbound|serve|query|ingest> "
                "[--flag=value ...]\nsee the header of tools/ndv_cli.cc for "
                "examples\n");
 }
@@ -659,6 +799,7 @@ int main(int argc, char** argv) {
   if (command == "lowerbound") return CmdLowerBound(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "query") return CmdQuery(flags);
+  if (command == "ingest") return CmdIngest(flags);
   PrintUsage();
   return 2;
 }
